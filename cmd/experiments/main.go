@@ -1,0 +1,271 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation (see DESIGN.md for the experiment index).
+//
+// Usage:
+//
+//	experiments -exp all            # run everything at paper scale
+//	experiments -exp fig5 -quick    # one experiment, reduced scale
+//	experiments -exp fig11 -out dir # also write TSV series files
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"holdcsim/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: all|table1|fig4|fig5|fig6|fig8|fig9|fig11|fig12|fig13")
+	quick := flag.Bool("quick", false, "use reduced-scale presets")
+	out := flag.String("out", "", "directory to write TSV series (optional)")
+	flag.Parse()
+
+	runners := map[string]func(bool, string) error{
+		"table1": runTableI,
+		"fig4":   runFig4,
+		"fig5":   runFig5,
+		"fig6":   runFig6,
+		"fig8":   runFig8,
+		"fig9":   runFig9,
+		"fig11":  runFig11,
+		"fig12":  runFig12,
+		"fig13":  runFig13,
+	}
+	names := make([]string, 0, len(runners))
+	for n := range runners {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	targets := names
+	if *exp != "all" {
+		if _, ok := runners[*exp]; !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (have: %s, all)\n",
+				*exp, strings.Join(names, ", "))
+			os.Exit(2)
+		}
+		targets = []string{*exp}
+	}
+	if *out != "" {
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			fatal(err)
+		}
+	}
+	for _, name := range targets {
+		fmt.Printf("==== %s ====\n", name)
+		if err := runners[name](*quick, *out); err != nil {
+			fatal(fmt.Errorf("%s: %w", name, err))
+		}
+		fmt.Println()
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
+}
+
+func emit(out, name string, table fmt.Stringer) error {
+	if out == "" {
+		fmt.Println(table)
+		return nil
+	}
+	path := filepath.Join(out, name+".tsv")
+	if err := os.WriteFile(path, []byte(table.String()), 0o644); err != nil {
+		return err
+	}
+	fmt.Println("wrote", path)
+	return nil
+}
+
+func runTableI(quick bool, out string) error {
+	p := experiments.DefaultTableI()
+	if quick {
+		p = experiments.QuickTableI()
+	}
+	r, err := experiments.TableI(p)
+	if err != nil {
+		return err
+	}
+	if err := emit(out, "table1", r.Features); err != nil {
+		return err
+	}
+	fmt.Println(r.Summary())
+	return nil
+}
+
+func runFig4(quick bool, out string) error {
+	p := experiments.DefaultFig4()
+	if quick {
+		p = experiments.QuickFig4()
+	}
+	r, err := experiments.Fig4(p)
+	if err != nil {
+		return err
+	}
+	if err := emit(out, "fig4", r.Series); err != nil {
+		return err
+	}
+	fmt.Println(r.Summary())
+	return nil
+}
+
+func runFig5(quick bool, out string) error {
+	p := experiments.DefaultFig5()
+	if quick {
+		p = experiments.QuickFig5()
+	}
+	r, err := experiments.Fig5(p)
+	if err != nil {
+		return err
+	}
+	if err := emit(out, "fig5", r.Series); err != nil {
+		return err
+	}
+	keys := make([]string, 0, len(r.OptimalTau))
+	for k := range r.OptimalTau {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Printf("optimal tau %-18s = %.2g s\n", k, r.OptimalTau[k])
+	}
+	return nil
+}
+
+func runFig6(quick bool, out string) error {
+	p := experiments.DefaultFig6()
+	if quick {
+		p = experiments.QuickFig6()
+	}
+	r, err := experiments.Fig6(p)
+	if err != nil {
+		return err
+	}
+	if err := emit(out, "fig6", r.Series); err != nil {
+		return err
+	}
+	for _, pt := range r.Points {
+		fmt.Printf("%-7s servers=%-3d rho=%.1f: dual saves %5.1f%% vs Active-Idle, %5.1f%% vs single timer\n",
+			pt.Workload, pt.Servers, pt.Rho, pt.ReductionPct, pt.VsSinglePct)
+	}
+	return nil
+}
+
+func runFig8(quick bool, out string) error {
+	p := experiments.DefaultFig8()
+	if quick {
+		p = experiments.QuickFig8()
+	}
+	r, err := experiments.Fig8(p)
+	if err != nil {
+		return err
+	}
+	return emit(out, "fig8", r.Series)
+}
+
+func runFig9(quick bool, out string) error {
+	p := experiments.DefaultFig9()
+	if quick {
+		p = experiments.QuickFig9()
+	}
+	r, err := experiments.Fig9(p)
+	if err != nil {
+		return err
+	}
+	if err := emit(out, "fig9", r.Series); err != nil {
+		return err
+	}
+	fmt.Printf("delay-timer total %.1f kJ, workload-adaptive total %.1f kJ: %.1f%% saving\n",
+		r.TimerTotalJ/1e3, r.AdaptiveTotalJ/1e3, r.SavingPct)
+	return nil
+}
+
+func runFig11(quick bool, out string) error {
+	p := experiments.DefaultFig11()
+	if quick {
+		p = experiments.QuickFig11()
+	}
+	r, err := experiments.Fig11(p)
+	if err != nil {
+		return err
+	}
+	if err := emit(out, "fig11a", r.Series); err != nil {
+		return err
+	}
+	rhos := make([]float64, 0, len(r.ServerSavingPct))
+	for rho := range r.ServerSavingPct {
+		rhos = append(rhos, rho)
+	}
+	sort.Float64s(rhos)
+	for _, rho := range rhos {
+		fmt.Printf("rho=%.0f%%: server power saving %.1f%%, network power saving %.1f%%\n",
+			rho*100, r.ServerSavingPct[rho], r.NetworkSavingPct[rho])
+	}
+	// Fig. 11b: latency CDFs.
+	cdf := &experiments.Table{
+		Title:  "Fig. 11b: job response time CDF",
+		Header: []string{"policy_rho", "latency_s", "F"},
+	}
+	keys := make([]string, 0, len(r.CDFs))
+	for k := range r.CDFs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		for _, pt := range r.CDFs[k] {
+			cdf.Addf(k, pt.X, pt.F)
+		}
+	}
+	return emit(out, "fig11b", cdf)
+}
+
+func runFig12(quick bool, out string) error {
+	p := experiments.DefaultFig12()
+	if quick {
+		p = experiments.QuickFig12()
+	}
+	r, err := experiments.Fig12(p)
+	if err != nil {
+		return err
+	}
+	if out != "" {
+		if err := emit(out, "fig12", r.Series); err != nil {
+			return err
+		}
+	}
+	fmt.Println(r.Summary())
+	return nil
+}
+
+func runFig13(quick bool, out string) error {
+	p := experiments.DefaultFig13()
+	if quick {
+		p = experiments.QuickFig13()
+	}
+	r, err := experiments.Fig13(p)
+	if err != nil {
+		return err
+	}
+	if out != "" {
+		if err := emit(out, "fig13", r.Series); err != nil {
+			return err
+		}
+		// Fig. 14's two representative 20-minute segments.
+		if err := emit(out, "fig14a", r.Segment(
+			"Fig. 14a: switch power trace, segment 1 (80-100 min)", 80*60, 100*60)); err != nil {
+			return err
+		}
+		if err := emit(out, "fig14b", r.Segment(
+			"Fig. 14b: switch power trace, segment 2 (40-60 min)", 40*60, 60*60)); err != nil {
+			return err
+		}
+	}
+	fmt.Println(r.Summary())
+	return nil
+}

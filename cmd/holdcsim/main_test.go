@@ -1,0 +1,144 @@
+package main
+
+import (
+	"testing"
+
+	"holdcsim/internal/core"
+	"holdcsim/internal/server"
+)
+
+func TestAssembleDefaults(t *testing.T) {
+	fc := fileConfig{
+		Seed:          1,
+		Servers:       8,
+		DelayTimerSec: -1,
+		Workload:      workConfig{Rho: 0.3, ServiceSec: 0.005},
+		DurationSec:   10,
+	}
+	cfg, err := assemble(fc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Servers != 8 || cfg.ServerConfig.Profile.Cores != 4 {
+		t.Errorf("servers=%d cores=%d", cfg.Servers, cfg.ServerConfig.Profile.Cores)
+	}
+	if cfg.ServerConfig.DelayTimerEnabled {
+		t.Error("negative delayTimerSec should disable the timer")
+	}
+	if _, err := core.Build(cfg); err != nil {
+		t.Fatalf("assembled config does not build: %v", err)
+	}
+}
+
+func TestAssembleXeonAndPerCore(t *testing.T) {
+	fc := fileConfig{
+		Servers:       2,
+		Profile:       "xeon",
+		QueueMode:     "percore",
+		DelayTimerSec: 1.5,
+		Placer:        "packfirst",
+		Workload:      workConfig{Rho: 0.2, ServiceSec: 0.01},
+		DurationSec:   5,
+	}
+	cfg, err := assemble(fc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.ServerConfig.Profile.Cores != 10 {
+		t.Errorf("cores = %d, want 10", cfg.ServerConfig.Profile.Cores)
+	}
+	if cfg.ServerConfig.QueueMode != server.QueuePerCore {
+		t.Error("queue mode not per-core")
+	}
+	if !cfg.ServerConfig.DelayTimerEnabled {
+		t.Error("delay timer not enabled")
+	}
+}
+
+func TestAssembleMMPP(t *testing.T) {
+	fc := fileConfig{
+		Servers: 4,
+		Workload: workConfig{
+			Arrivals: "mmpp", Rho: 0.3, ServiceSec: 0.005,
+			BurstRatio: 20, BurstFraction: 0.1,
+		},
+		DelayTimerSec: -1,
+		DurationSec:   5,
+	}
+	cfg, err := assemble(fc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Arrivals == nil {
+		t.Fatal("no arrivals")
+	}
+	if _, err := core.Build(cfg); err != nil {
+		t.Fatalf("assembled MMPP config does not build: %v", err)
+	}
+}
+
+func TestAssembleTopologyAndComm(t *testing.T) {
+	fc := fileConfig{
+		Servers:       16,
+		DelayTimerSec: -1,
+		Topology:      &topoConfig{Kind: "fattree", K: 4},
+		CommMode:      "flow",
+		Workload:      workConfig{Rho: 0.2, ServiceSec: 0.005},
+		DurationSec:   5,
+	}
+	cfg, err := assemble(fc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Topology == nil || cfg.CommMode != core.CommFlow {
+		t.Error("topology/comm not assembled")
+	}
+	if _, err := core.Build(cfg); err != nil {
+		t.Fatalf("assembled networked config does not build: %v", err)
+	}
+}
+
+func TestAssembleRejects(t *testing.T) {
+	bad := []fileConfig{
+		{Servers: 2, Profile: "vax", DelayTimerSec: -1,
+			Workload: workConfig{Rho: 0.1, ServiceSec: 0.01}, DurationSec: 1},
+		{Servers: 2, Placer: "oracle", DelayTimerSec: -1,
+			Workload: workConfig{Rho: 0.1, ServiceSec: 0.01}, DurationSec: 1},
+		{Servers: 2, DelayTimerSec: -1,
+			Workload: workConfig{Rho: 0.1, ServiceSec: 0}, DurationSec: 1},
+		{Servers: 2, DelayTimerSec: -1,
+			Workload: workConfig{Arrivals: "fractal", Rho: 0.1, ServiceSec: 0.01}, DurationSec: 1},
+		{Servers: 2, DelayTimerSec: -1, Topology: &topoConfig{Kind: "moebius"},
+			Workload: workConfig{Rho: 0.1, ServiceSec: 0.01}, DurationSec: 1},
+		{Servers: 2, DelayTimerSec: -1, Topology: &topoConfig{Kind: "star"}, CommMode: "telepathy",
+			Workload: workConfig{Rho: 0.1, ServiceSec: 0.01}, DurationSec: 1},
+	}
+	for i, fc := range bad {
+		if _, err := assemble(fc); err == nil {
+			t.Errorf("case %d: bad config accepted", i)
+		}
+	}
+}
+
+func TestBuildTopoKinds(t *testing.T) {
+	kinds := []topoConfig{
+		{Kind: "fattree", K: 4},
+		{Kind: "star", Hosts: 8},
+		{Kind: "bcube", N: 2, K: 1},
+		{Kind: "camcube", X: 2, Y: 2, Z: 2},
+		{Kind: "flatbutterfly", Rows: 2, Cols: 2, Conc: 1},
+	}
+	for _, tc := range kinds {
+		topo, ports, err := buildTopo(tc)
+		if err != nil {
+			t.Errorf("%s: %v", tc.Kind, err)
+			continue
+		}
+		if topo == nil || ports <= 0 {
+			t.Errorf("%s: topo=%v ports=%d", tc.Kind, topo, ports)
+		}
+		if _, err := topo.Build(); err != nil {
+			t.Errorf("%s build: %v", tc.Kind, err)
+		}
+	}
+}

@@ -1,0 +1,114 @@
+// Command topoviz inspects HolDCSim topologies: it builds one of the
+// supported architectures (paper Sec. III-B, Fig. 10) and prints its
+// structure, degree distribution, and hop-count profile.
+//
+// Usage:
+//
+//	topoviz -topo fattree -k 4
+//	topoviz -topo bcube -n 4 -k 1
+//	topoviz -topo camcube -x 3 -y 3 -z 3
+//	topoviz -topo flatbutterfly -rows 2 -cols 4 -c 2
+//	topoviz -topo star -hosts 24
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"holdcsim/internal/topology"
+)
+
+func main() {
+	topo := flag.String("topo", "fattree", "fattree|star|bcube|camcube|flatbutterfly")
+	k := flag.Int("k", 4, "fat-tree arity / BCube level count")
+	n := flag.Int("n", 4, "BCube switch port count")
+	hosts := flag.Int("hosts", 24, "star host count")
+	x := flag.Int("x", 3, "CamCube X")
+	y := flag.Int("y", 3, "CamCube Y")
+	z := flag.Int("z", 3, "CamCube Z")
+	rows := flag.Int("rows", 2, "flattened butterfly rows")
+	cols := flag.Int("cols", 4, "flattened butterfly cols")
+	conc := flag.Int("c", 2, "flattened butterfly hosts per router")
+	flag.Parse()
+
+	var t topology.Topology
+	switch *topo {
+	case "fattree":
+		t = topology.FatTree{K: *k}
+	case "star":
+		t = topology.Star{Hosts: *hosts}
+	case "bcube":
+		t = topology.BCube{N: *n, K: *k}
+	case "camcube":
+		t = topology.CamCube{X: *x, Y: *y, Z: *z}
+	case "flatbutterfly":
+		t = topology.FlattenedButterfly{Rows: *rows, Cols: *cols, Concentration: *conc}
+	default:
+		fmt.Fprintf(os.Stderr, "topoviz: unknown topology %q\n", *topo)
+		os.Exit(2)
+	}
+	g, err := t.Build()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "topoviz:", err)
+		os.Exit(1)
+	}
+	if err := g.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "topoviz: validation:", err)
+		os.Exit(1)
+	}
+
+	hostsList := g.Hosts()
+	switches := g.Switches()
+	fmt.Printf("topology %s\n", t.Name())
+	fmt.Printf("  nodes:    %d (%d hosts, %d switches)\n", g.NumNodes(), len(hostsList), len(switches))
+	fmt.Printf("  links:    %d\n", g.NumLinks())
+	fmt.Printf("  host transit: %v\n", g.AllowHostTransit)
+
+	// Degree profile.
+	degCount := map[int]int{}
+	for i := 0; i < g.NumNodes(); i++ {
+		degCount[g.Degree(topology.NodeID(i))]++
+	}
+	fmt.Printf("  degrees:  ")
+	for d := 0; d <= maxKey(degCount); d++ {
+		if c := degCount[d]; c > 0 {
+			fmt.Printf("%dx deg%d  ", c, d)
+		}
+	}
+	fmt.Println()
+
+	// Hop-count profile from host 0 to all other hosts.
+	hops := map[int]int{}
+	for _, h := range hostsList[1:] {
+		hops[g.HopCount(hostsList[0], h)]++
+	}
+	fmt.Printf("  hops from host 0: ")
+	for d := 0; d <= maxKey(hops); d++ {
+		if c := hops[d]; c > 0 {
+			fmt.Printf("%d hosts @ %d hops  ", c, d)
+		}
+	}
+	fmt.Println()
+
+	// Example path between the two most distant hosts.
+	far := hostsList[len(hostsList)-1]
+	nodes, _, err := g.Path(hostsList[0], far, 0)
+	if err == nil {
+		fmt.Printf("  sample path %d -> %d:", hostsList[0], far)
+		for _, nd := range nodes {
+			fmt.Printf(" %s", g.Node(nd).Name)
+		}
+		fmt.Println()
+	}
+}
+
+func maxKey(m map[int]int) int {
+	max := 0
+	for k := range m {
+		if k > max {
+			max = k
+		}
+	}
+	return max
+}

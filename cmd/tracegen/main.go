@@ -1,0 +1,49 @@
+// Command tracegen emits synthetic workload traces (one arrival
+// timestamp per line, seconds) on stdout — the stand-ins for the
+// Wikipedia [59] and NLANR [2] traces used by the paper (see DESIGN.md's
+// substitution table). Generated files replay through `cmd/holdcsim` or
+// the library's TraceReplay.
+//
+// Usage:
+//
+//	tracegen -kind wikipedia -duration 3600 -rate 100 -seed 7 > wiki.trace
+//	tracegen -kind nlanr -duration 1000 -seed 9 > nlanr.trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"holdcsim/internal/rng"
+	"holdcsim/internal/trace"
+)
+
+func main() {
+	kind := flag.String("kind", "wikipedia", "wikipedia|nlanr")
+	duration := flag.Float64("duration", 3600, "trace length in seconds")
+	rate := flag.Float64("rate", 100, "mean arrivals/second (wikipedia)")
+	onRate := flag.Float64("onrate", 40, "burst arrival rate (nlanr)")
+	seed := flag.Uint64("seed", 1, "random seed")
+	flag.Parse()
+
+	r := rng.New(*seed)
+	var tr *trace.Trace
+	switch *kind {
+	case "wikipedia":
+		tr = trace.SyntheticWikipedia(trace.DefaultWikipediaConfig(*duration, *rate), r)
+	case "nlanr":
+		cfg := trace.DefaultNLANRConfig(*duration)
+		cfg.OnRate = *onRate
+		tr = trace.SyntheticNLANR(cfg, r)
+	default:
+		fmt.Fprintf(os.Stderr, "tracegen: unknown kind %q\n", *kind)
+		os.Exit(2)
+	}
+	fmt.Fprintf(os.Stderr, "tracegen: %d arrivals over %.0f s (mean %.2f/s)\n",
+		tr.Len(), tr.Duration(), tr.MeanRate())
+	if err := tr.Write(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,71 @@
+// Bursty MMPP: explore how workload burstiness (2-state Markov-Modulated
+// Poisson arrivals, paper Sec. III-D) interacts with a delay-timer sleep
+// policy. At the same average load, increasing the burst ratio
+// Ra = λh/λl concentrates arrivals, which stretches idle gaps — deeper
+// sleep — but also punishes servers woken mid-burst.
+//
+// Run with: go run ./examples/bursty_mmpp
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"holdcsim"
+)
+
+func main() {
+	const (
+		servers  = 20
+		meanRate = 2400.0 // arrivals/second, fixed across burst ratios
+	)
+
+	fmt.Printf("MMPP burstiness sweep at fixed mean rate %.0f/s, 20 servers, tau = 0.8 s\n\n", meanRate)
+	fmt.Printf("%6s %12s %10s %10s %12s %10s\n",
+		"Ra", "energy(kJ)", "p95(ms)", "p99(ms)", "sys-sleep%", "wakeups")
+
+	for _, ratio := range []float64{1, 5, 20, 50} {
+		var arrivals holdcsim.ArrivalProcess
+		if ratio == 1 {
+			arrivals = holdcsim.Poisson{Rate: meanRate}
+		} else {
+			// 10% of time bursty: solve λl from the fixed mean rate.
+			frac := 0.10
+			lambdaL := meanRate / (frac*ratio + (1 - frac))
+			m, err := holdcsim.NewMMPP2(lambdaL*ratio, lambdaL, frac*10, (1-frac)*10)
+			if err != nil {
+				log.Fatal(err)
+			}
+			arrivals = holdcsim.MMPP{Proc: m}
+		}
+
+		sc := holdcsim.DefaultServerConfig(holdcsim.FourCoreServer())
+		sc.DelayTimerEnabled = true
+		sc.DelayTimer = holdcsim.Seconds(0.8)
+
+		cfg := holdcsim.Config{
+			Seed:         31,
+			Servers:      servers,
+			ServerConfig: sc,
+			Placer:       holdcsim.PackFirst{},
+			Arrivals:     arrivals,
+			Factory:      holdcsim.SingleTask{Service: holdcsim.WebSearchService()},
+			Duration:     60 * holdcsim.Second,
+		}
+		dc, err := holdcsim.Build(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := dc.Run()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%6.0f %12.1f %10.2f %10.2f %11.1f%% %10d\n",
+			ratio, res.ServerEnergyJ/1e3,
+			res.Latency.Percentile(95)*1e3, res.Latency.Percentile(99)*1e3,
+			res.Residency[holdcsim.StateSysSleep]*100, res.ServerWakeups)
+	}
+	fmt.Println("\nNote the paper's caveat (Sec. IV-B): a single delay timer degrades")
+	fmt.Println("under highly bursty arrivals — tail latency grows with Ra while the")
+	fmt.Println("energy saved by sleeping shrinks.")
+}

@@ -1,0 +1,74 @@
+// Provisioning: reproduce the shape of the paper's Fig. 4 case study —
+// a 50-server farm fed by a diurnal Wikipedia-like trace, with a
+// threshold provisioner that parks and activates servers as the load
+// swings. Prints a small ASCII chart of active servers over time.
+//
+// Run with: go run ./examples/provisioning
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"holdcsim"
+)
+
+func main() {
+	const (
+		servers     = 50
+		durationSec = 600
+		meanRate    = 6000 // requests/second across the farm
+	)
+
+	// Synthetic Wikipedia-like trace: diurnal swing + jitter + flash
+	// crowds (the paper replays the real Wikipedia trace [59]).
+	tr := holdcsim.SyntheticWikipedia(durationSec, meanRate, holdcsim.NewRNG(7))
+
+	prov := holdcsim.NewProvisioner(0.8, 2.5) // min/max jobs per active server
+	cfg := holdcsim.Config{
+		Seed:         7,
+		Servers:      servers,
+		ServerConfig: holdcsim.DefaultServerConfig(holdcsim.FourCoreServer()),
+		Placer:       prov,
+		Controller:   prov,
+		Arrivals:     holdcsim.NewTraceReplay(tr),
+		Factory:      holdcsim.SingleTask{Service: holdcsim.WikipediaService()},
+		Duration:     durationSec * holdcsim.Second,
+	}
+	dc, err := holdcsim.Build(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Sample the active-server count every 10 simulated seconds.
+	type sample struct {
+		t      holdcsim.Time
+		active int
+		jobs   int
+	}
+	var samples []sample
+	var tick func()
+	tick = func() {
+		samples = append(samples, sample{dc.Eng.Now(), prov.ActiveServers(), dc.Sched.JobsInSystem()})
+		if dc.Eng.Now()+10*holdcsim.Second <= cfg.Duration {
+			dc.Eng.After(10*holdcsim.Second, tick)
+		}
+	}
+	// First sample after the provisioner has seen its first arrival.
+	dc.Eng.Schedule(10*holdcsim.Second, tick)
+
+	res, err := dc.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%d jobs served; active servers over time:\n\n", res.JobsCompleted)
+	fmt.Println("  time   jobs  active servers")
+	for _, s := range samples {
+		bar := strings.Repeat("#", s.active)
+		fmt.Printf("%5.0fs  %5d  %2d %s\n", s.t.Seconds(), s.jobs, s.active, bar)
+	}
+	fmt.Printf("\nmean latency %.2f ms, p95 %.2f ms, energy %.0f kJ\n",
+		res.Latency.Mean()*1e3, res.Latency.Percentile(95)*1e3, res.ServerEnergyJ/1e3)
+}

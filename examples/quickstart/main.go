@@ -1,0 +1,50 @@
+// Quickstart: simulate a 16-server web-search farm under Poisson load
+// and print latency and energy statistics.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"holdcsim"
+)
+
+func main() {
+	cfg := holdcsim.Config{
+		Seed:         42,
+		Servers:      16,
+		ServerConfig: holdcsim.DefaultServerConfig(holdcsim.XeonE5_2680()),
+		Placer:       holdcsim.LeastLoaded{},
+
+		// 30% utilization of 16 servers x 10 cores at 5 ms mean service.
+		Arrivals: holdcsim.Poisson{
+			Rate: holdcsim.UtilizationRate(0.30, 16, 10, 0.005)},
+		Factory: holdcsim.SingleTask{Service: holdcsim.WebSearchService()},
+
+		Duration: 30 * holdcsim.Second,
+		Warmup:   2 * holdcsim.Second,
+	}
+
+	dc, err := holdcsim.Build(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := dc.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("completed %d jobs in %.0f simulated seconds\n",
+		res.JobsCompleted, res.End.Seconds())
+	fmt.Printf("latency:  mean %.2f ms   p95 %.2f ms   p99 %.2f ms\n",
+		res.Latency.Mean()*1e3, res.Latency.Percentile(95)*1e3,
+		res.Latency.Percentile(99)*1e3)
+	fmt.Printf("energy:   %.1f kJ total (%.1f W mean)\n",
+		res.ServerEnergyJ/1e3, res.MeanServerPowerW)
+	fmt.Printf("residency: Active %.1f%%  Idle %.1f%%  PkgC6 %.1f%%\n",
+		res.Residency[holdcsim.StateActive]*100,
+		res.Residency[holdcsim.StateIdle]*100,
+		res.Residency[holdcsim.StatePkgC6]*100)
+}

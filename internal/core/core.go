@@ -1,0 +1,373 @@
+// Package core assembles HolDCSim's modules into a runnable data center
+// (paper Fig. 1): it builds the server farm, lays the network over a
+// topology, wires the global scheduler and workload generator, runs the
+// event loop, and collects the runtime statistics the paper reports —
+// job latency distributions, per-component energy, state residency, and
+// power-over-time samples.
+package core
+
+import (
+	"fmt"
+
+	"holdcsim/internal/engine"
+	"holdcsim/internal/job"
+	"holdcsim/internal/network"
+	"holdcsim/internal/rng"
+	"holdcsim/internal/sched"
+	"holdcsim/internal/server"
+	"holdcsim/internal/simtime"
+	"holdcsim/internal/stats"
+	"holdcsim/internal/topology"
+	"holdcsim/internal/workload"
+)
+
+// CommMode selects how DAG edge data crosses the network.
+type CommMode int
+
+// Communication modes (paper Sec. III-B: packet-level and flow-based).
+const (
+	// CommNone makes transfers instantaneous (server-only studies).
+	CommNone CommMode = iota
+	// CommFlow uses fluid max-min fair flows.
+	CommFlow
+	// CommPacket uses MTU-sized store-and-forward packets.
+	CommPacket
+)
+
+// String implements fmt.Stringer.
+func (m CommMode) String() string {
+	switch m {
+	case CommNone:
+		return "none"
+	case CommFlow:
+		return "flow"
+	case CommPacket:
+		return "packet"
+	}
+	return fmt.Sprintf("CommMode(%d)", int(m))
+}
+
+// Config describes one simulation experiment.
+type Config struct {
+	// Seed drives every random stream in the run.
+	Seed uint64
+
+	// Servers is the farm size; ServerConfig is the per-server template.
+	// ConfigureServer optionally specializes individual servers
+	// (heterogeneous farms, kind restrictions, per-pool timers).
+	Servers         int
+	ServerConfig    server.Config
+	ConfigureServer func(i int, c *server.Config)
+
+	// Topology is optional; when set, server i binds to host i and a
+	// network is instantiated with NetworkConfig. CommMode selects the
+	// transfer model for DAG edges.
+	Topology      topology.Topology
+	NetworkConfig network.Config
+	CommMode      CommMode
+
+	// Scheduling.
+	Placer         sched.Placer
+	Controller     sched.Controller
+	UseGlobalQueue bool
+	// PlacerFor, when set, constructs the placer once the network
+	// exists — policies such as Server-Network-Aware (Sec. IV-D) need
+	// the live Network to read switch sleep states. It overrides Placer.
+	PlacerFor func(net *network.Network, hostOf sched.HostMapper) sched.Placer
+	// OnDispatch, when set, observes every task handed to a server
+	// (e.g. to inject request traffic toward the assigned host).
+	OnDispatch func(srv *server.Server, t *job.Task)
+
+	// Workload.
+	Arrivals workload.ArrivalProcess
+	Factory  workload.JobFactory
+	MaxJobs  int64
+
+	// Duration ends the run at a fixed virtual time; 0 runs until the
+	// event queue drains (requires MaxJobs or a finite trace).
+	Duration simtime.Time
+	// Warmup excludes jobs arriving before this time from latency
+	// statistics (energy accounting always covers the full run).
+	Warmup simtime.Time
+	// SamplePower, when positive, records total server and network power
+	// at this interval (the paper's 1 Hz power logging).
+	SamplePower simtime.Time
+}
+
+// DataCenter is a built simulation ready to run.
+type DataCenter struct {
+	Eng     *engine.Engine
+	Servers []*server.Server
+	Net     *network.Network // nil without a topology
+	Graph   *topology.Graph  // nil without a topology
+	Sched   *sched.Scheduler
+	Gen     *workload.Generator
+
+	cfg    Config
+	rng    *rng.Source
+	hostOf []topology.NodeID
+
+	latency  *stats.Tally
+	srvPower *stats.PowerSampler
+	netPower *stats.PowerSampler
+}
+
+// Build validates the config and constructs the data center.
+func Build(cfg Config) (*DataCenter, error) {
+	if cfg.Servers <= 0 {
+		return nil, fmt.Errorf("core: need at least one server")
+	}
+	if cfg.Arrivals == nil || cfg.Factory == nil {
+		return nil, fmt.Errorf("core: workload arrivals and factory are required")
+	}
+	if cfg.Duration == 0 && cfg.MaxJobs == 0 {
+		// A pure stochastic process with no horizon never terminates.
+		if _, isTrace := cfg.Arrivals.(*workload.TraceReplay); !isTrace {
+			return nil, fmt.Errorf("core: unbounded run (set Duration or MaxJobs)")
+		}
+	}
+	eng := engine.New()
+	master := rng.New(cfg.Seed)
+
+	dc := &DataCenter{
+		Eng:     eng,
+		cfg:     cfg,
+		rng:     master,
+		latency: stats.NewTally("job-latency-seconds"),
+	}
+
+	// Server farm.
+	dc.Servers = make([]*server.Server, cfg.Servers)
+	for i := 0; i < cfg.Servers; i++ {
+		sc := cfg.ServerConfig
+		if sc.Profile == nil {
+			return nil, fmt.Errorf("core: server config needs a power profile")
+		}
+		if cfg.ConfigureServer != nil {
+			cfg.ConfigureServer(i, &sc)
+		}
+		srv, err := server.New(i, eng, sc)
+		if err != nil {
+			return nil, fmt.Errorf("core: server %d: %w", i, err)
+		}
+		dc.Servers[i] = srv
+	}
+
+	// Network.
+	var transfer sched.TransferFn
+	if cfg.Topology != nil {
+		g, err := cfg.Topology.Build()
+		if err != nil {
+			return nil, err
+		}
+		if err := g.Validate(); err != nil {
+			return nil, err
+		}
+		hosts := g.Hosts()
+		if len(hosts) < cfg.Servers {
+			return nil, fmt.Errorf("core: topology %s has %d hosts for %d servers",
+				cfg.Topology.Name(), len(hosts), cfg.Servers)
+		}
+		net, err := network.New(eng, g, cfg.NetworkConfig)
+		if err != nil {
+			return nil, err
+		}
+		dc.Graph = g
+		dc.Net = net
+		dc.hostOf = hosts[:cfg.Servers]
+		switch cfg.CommMode {
+		case CommFlow:
+			transfer = func(from, to int, bytes int64, done func()) {
+				if err := net.TransferFlow(dc.hostOf[from], dc.hostOf[to], bytes, done); err != nil {
+					panic(err)
+				}
+			}
+		case CommPacket:
+			transfer = func(from, to int, bytes int64, done func()) {
+				if err := net.TransferPackets(dc.hostOf[from], dc.hostOf[to], bytes, done); err != nil {
+					panic(err)
+				}
+			}
+		}
+	} else if cfg.CommMode != CommNone {
+		return nil, fmt.Errorf("core: CommMode %v requires a topology", cfg.CommMode)
+	}
+
+	// Scheduler.
+	placer := cfg.Placer
+	if cfg.PlacerFor != nil {
+		if dc.Net == nil {
+			return nil, fmt.Errorf("core: PlacerFor requires a topology")
+		}
+		placer = cfg.PlacerFor(dc.Net, func(id int) topology.NodeID { return dc.hostOf[id] })
+	}
+	s, err := sched.New(eng, dc.Servers, sched.Config{
+		Placer:         placer,
+		Controller:     cfg.Controller,
+		UseGlobalQueue: cfg.UseGlobalQueue,
+		Transfer:       transfer,
+		OnDispatch:     cfg.OnDispatch,
+	})
+	if err != nil {
+		return nil, err
+	}
+	dc.Sched = s
+	s.OnJobDone(func(j *job.Job) {
+		if j.ArriveAt >= cfg.Warmup {
+			dc.latency.Add(j.Sojourn().Seconds())
+		}
+	})
+
+	// Workload.
+	dc.Gen = workload.NewGenerator(eng, master.Split("workload"), cfg.Arrivals,
+		cfg.Factory, func(j *job.Job) { s.JobArrived(j) })
+	dc.Gen.MaxJobs = cfg.MaxJobs
+	if cfg.Duration > 0 {
+		dc.Gen.Until = cfg.Duration
+	}
+
+	// Power sampling.
+	if cfg.SamplePower > 0 {
+		dc.srvPower = stats.NewPowerSampler(cfg.SamplePower)
+		if dc.Net != nil {
+			dc.netPower = stats.NewPowerSampler(cfg.SamplePower)
+		}
+		var tick func()
+		tick = func() {
+			dc.srvPower.Record(eng.Now(), dc.ServerPowerW())
+			if dc.netPower != nil {
+				dc.netPower.Record(eng.Now(), dc.Net.NetworkPowerW())
+			}
+			if cfg.Duration == 0 || eng.Now()+cfg.SamplePower <= cfg.Duration {
+				eng.After(cfg.SamplePower, tick)
+			}
+		}
+		eng.Schedule(0, tick)
+	}
+	return dc, nil
+}
+
+// RNG exposes the master random source (for callers extending a run).
+func (dc *DataCenter) RNG() *rng.Source { return dc.rng }
+
+// HostOf reports the topology node bound to a server (only with a
+// topology).
+func (dc *DataCenter) HostOf(serverID int) topology.NodeID { return dc.hostOf[serverID] }
+
+// ServerPowerW reports the farm's instantaneous draw.
+func (dc *DataCenter) ServerPowerW() float64 {
+	sum := 0.0
+	for _, s := range dc.Servers {
+		sum += s.Power()
+	}
+	return sum
+}
+
+// Run executes the simulation and collects results.
+func (dc *DataCenter) Run() (*Results, error) {
+	dc.Gen.Start()
+	if dc.cfg.Duration > 0 {
+		dc.Eng.RunUntil(dc.cfg.Duration)
+	} else {
+		dc.Eng.Run()
+	}
+	return dc.Collect(), nil
+}
+
+// Collect snapshots results at the current virtual time. It may be
+// called repeatedly (e.g. per sweep point when reusing a data center).
+func (dc *DataCenter) Collect() *Results {
+	end := dc.Eng.Now()
+	r := &Results{
+		End:           end,
+		JobsGenerated: dc.Gen.Generated(),
+		JobsCompleted: dc.Sched.JobsCompleted(),
+		Latency:       dc.latency,
+		PerServer:     make([]ServerEnergy, len(dc.Servers)),
+		Residency:     make(map[string]float64),
+	}
+	resTotals := make(map[string]float64)
+	for i, s := range dc.Servers {
+		cpu, dram, plat := s.CPUEnergyTo(end), s.DRAMEnergyTo(end), s.PlatformEnergyTo(end)
+		r.PerServer[i] = ServerEnergy{CPU: cpu, DRAM: dram, Platform: plat}
+		r.ServerEnergyJ += cpu + dram + plat
+		r.CPUEnergyJ += cpu
+		r.DRAMEnergyJ += dram
+		r.PlatformEnergyJ += plat
+		for state, frac := range s.Residency().FractionsTo(end) {
+			resTotals[state] += frac
+		}
+		r.ServerWakeups += s.WakeCount()
+	}
+	for state, total := range resTotals {
+		r.Residency[state] = total / float64(len(dc.Servers))
+	}
+	if sec := end.Seconds(); sec > 0 {
+		r.MeanServerPowerW = r.ServerEnergyJ / sec
+	}
+	if dc.Net != nil {
+		r.NetworkEnergyJ = dc.Net.NetworkEnergyTo(end)
+		if sec := end.Seconds(); sec > 0 {
+			r.MeanNetworkPowerW = r.NetworkEnergyJ / sec
+		}
+		r.NetStats = dc.Net.Stats()
+		for _, sw := range dc.Net.Switches() {
+			r.SwitchWakeups += sw.WakeCount()
+		}
+	}
+	if dc.srvPower != nil {
+		r.ServerPowerSeries = dc.srvPower
+	}
+	if dc.netPower != nil {
+		r.NetworkPowerSeries = dc.netPower
+	}
+	return r
+}
+
+// ServerEnergy is one server's per-component energy (Fig. 9's bars).
+type ServerEnergy struct {
+	CPU, DRAM, Platform float64 // joules
+}
+
+// Total reports the server's total energy.
+func (e ServerEnergy) Total() float64 { return e.CPU + e.DRAM + e.Platform }
+
+// Results aggregates a run's outputs.
+type Results struct {
+	End           simtime.Time
+	JobsGenerated int64
+	JobsCompleted int64
+
+	// Latency holds per-job sojourn times in seconds (post-warmup).
+	Latency *stats.Tally
+
+	ServerEnergyJ     float64
+	CPUEnergyJ        float64
+	DRAMEnergyJ       float64
+	PlatformEnergyJ   float64
+	NetworkEnergyJ    float64
+	MeanServerPowerW  float64
+	MeanNetworkPowerW float64
+
+	PerServer []ServerEnergy
+
+	// Residency maps state label -> mean fraction across servers
+	// (Fig. 8's stacked bars).
+	Residency map[string]float64
+
+	ServerWakeups int64
+	SwitchWakeups int64
+
+	NetStats network.Stats
+
+	ServerPowerSeries  *stats.PowerSampler
+	NetworkPowerSeries *stats.PowerSampler
+}
+
+// String renders a one-line summary.
+func (r *Results) String() string {
+	return fmt.Sprintf("jobs=%d/%d mean=%.4gms p95=%.4gms p99=%.4gms energy=%.4gkJ meanPower=%.4gW",
+		r.JobsCompleted, r.JobsGenerated,
+		r.Latency.Mean()*1e3, r.Latency.Percentile(95)*1e3, r.Latency.Percentile(99)*1e3,
+		r.ServerEnergyJ/1e3, r.MeanServerPowerW)
+}

@@ -1,0 +1,166 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"holdcsim/internal/job"
+	"holdcsim/internal/network"
+	"holdcsim/internal/power"
+	"holdcsim/internal/sched"
+	"holdcsim/internal/server"
+	"holdcsim/internal/simtime"
+	"holdcsim/internal/topology"
+	"holdcsim/internal/workload"
+)
+
+func TestGlobalQueueThroughBuild(t *testing.T) {
+	cfg := baseConfig()
+	cfg.UseGlobalQueue = true
+	cfg.Arrivals = workload.Poisson{Rate: 4000} // oversubscribe 16 slots
+	cfg.Factory = workload.SingleTask{Service: workload.WebSearchService()}
+	cfg.MaxJobs = 2000
+	dc, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mid-run, the global queue must hold work while servers stay
+	// local-queue-free.
+	dc.Gen.Start()
+	dc.Eng.RunUntil(100 * simtime.Millisecond)
+	anyLocal := 0
+	for _, srv := range dc.Servers {
+		anyLocal += srv.QueueLen()
+	}
+	if anyLocal != 0 {
+		t.Errorf("local queues hold %d tasks in global-queue mode", anyLocal)
+	}
+	dc.Eng.Run()
+	res := dc.Collect()
+	if res.JobsCompleted != 2000 {
+		t.Errorf("jobs = %d", res.JobsCompleted)
+	}
+}
+
+func TestMultiSocketFarmThroughBuild(t *testing.T) {
+	cfg := baseConfig()
+	cfg.ServerConfig = server.DefaultConfig(power.DualSocketXeon())
+	cfg.Arrivals = workload.Poisson{Rate: 100}
+	cfg.MaxJobs = 500
+	dc, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dc.Servers[0].Cores() != 20 {
+		t.Fatalf("cores = %d", dc.Servers[0].Cores())
+	}
+	res, err := dc.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.JobsCompleted != 500 {
+		t.Errorf("jobs = %d", res.JobsCompleted)
+	}
+	// At this trickle the second socket of each server should have
+	// parked for most of the run: per-server CPU energy must be well
+	// under the both-sockets-idle bound.
+	bothIdle := power.DualSocketXeon().IdleWatts() * res.End.Seconds()
+	if res.PerServer[0].Total() >= bothIdle {
+		t.Errorf("per-server energy %v >= Active-Idle bound %v (no socket parking?)",
+			res.PerServer[0].Total(), bothIdle)
+	}
+}
+
+func TestPlacerForRequiresTopology(t *testing.T) {
+	cfg := baseConfig()
+	cfg.PlacerFor = func(net *network.Network, hostOf sched.HostMapper) sched.Placer {
+		return sched.LeastLoaded{}
+	}
+	if _, err := Build(cfg); err == nil {
+		t.Error("PlacerFor without topology accepted")
+	}
+}
+
+func TestPowerSamplerCadence(t *testing.T) {
+	cfg := baseConfig()
+	cfg.MaxJobs = 0
+	cfg.Duration = simtime.Second
+	cfg.SamplePower = 100 * simtime.Millisecond
+	dc, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := dc.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Samples at 0, 100ms, ..., 1000ms inclusive = 11.
+	if res.ServerPowerSeries.Len() != 11 {
+		t.Errorf("samples = %d, want 11", res.ServerPowerSeries.Len())
+	}
+	for i, at := range res.ServerPowerSeries.Times {
+		want := simtime.Time(i) * 100 * simtime.Millisecond
+		if at != want {
+			t.Errorf("sample %d at %v, want %v", i, at, want)
+		}
+	}
+	for _, w := range res.ServerPowerSeries.Values {
+		if w <= 0 {
+			t.Error("non-positive power sample")
+		}
+	}
+}
+
+func TestOnDispatchThroughBuild(t *testing.T) {
+	count := 0
+	cfg := baseConfig()
+	cfg.MaxJobs = 50
+	cfg.OnDispatch = func(srv *server.Server, tk *job.Task) {
+		if srv == nil || tk == nil {
+			t.Error("nil dispatch arguments")
+		}
+		count++
+	}
+	dc, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dc.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if count != 50 {
+		t.Errorf("dispatch hook fired %d times, want 50", count)
+	}
+}
+
+func TestStarTopologyPacketEnergy(t *testing.T) {
+	cfg := baseConfig()
+	cfg.Servers = 8
+	cfg.Topology = topology.Star{Hosts: 8, RateBps: 1e9}
+	cfg.NetworkConfig = network.DefaultConfig(power.Cisco2960_24())
+	cfg.CommMode = CommPacket
+	cfg.Factory = workload.TwoTier{
+		AppService: workload.WebSearchService(),
+		DBService:  workload.WebSearchService(),
+		Bytes:      6000,
+	}
+	cfg.MaxJobs = 300
+	dc, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := dc.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Network energy must sit inside the switch's physical power band:
+	// above the all-LPI floor, below the all-active ceiling.
+	lo := (14.7 + 8*0.03) * res.End.Seconds()
+	hi := (14.7 + 8*0.23) * res.End.Seconds() * 1.01
+	if res.NetworkEnergyJ < lo || res.NetworkEnergyJ > hi {
+		t.Errorf("network energy %v outside [%v, %v]", res.NetworkEnergyJ, lo, hi)
+	}
+	if math.IsNaN(res.NetworkEnergyJ) {
+		t.Error("NaN network energy")
+	}
+}

@@ -1,0 +1,48 @@
+package engine
+
+import (
+	"testing"
+
+	"holdcsim/internal/simtime"
+)
+
+func BenchmarkScheduleAndRun(b *testing.B) {
+	e := New()
+	count := 0
+	var next func()
+	next = func() {
+		count++
+		if count < b.N {
+			e.After(simtime.Microsecond, next)
+		}
+	}
+	b.ResetTimer()
+	e.After(simtime.Microsecond, next)
+	e.Run()
+}
+
+func BenchmarkHeapChurn(b *testing.B) {
+	// Many pending timers with random-ish deadlines: the delay-timer
+	// workload shape (arm, cancel, re-arm).
+	e := New()
+	const pending = 4096
+	evs := make([]*Event, pending)
+	for i := range evs {
+		evs[i] = e.Schedule(simtime.Time(i+1)*simtime.Second, func() {})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		idx := i % pending
+		e.Cancel(evs[idx])
+		evs[idx] = e.Schedule(e.Now()+simtime.Time(idx+1)*simtime.Second, func() {})
+	}
+}
+
+func BenchmarkTimerReset(b *testing.B) {
+	e := New()
+	tm := NewTimer(e, func() {})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tm.Reset(simtime.Second)
+	}
+}

@@ -1,0 +1,56 @@
+package engine
+
+import "holdcsim/internal/simtime"
+
+// Timer is a restartable one-shot timer on the virtual clock, used for
+// delay timers (Sec. IV-B of the paper), LPI idle thresholds, and similar
+// "fire unless something happens first" policies.
+//
+// A Timer is bound to one Engine and one callback; Reset re-arms it,
+// canceling any pending expiry.
+type Timer struct {
+	eng *Engine
+	fn  func()
+	ev  *Event
+}
+
+// NewTimer returns an unarmed timer that will invoke fn on expiry.
+func NewTimer(eng *Engine, fn func()) *Timer {
+	if fn == nil {
+		panic("engine: NewTimer with nil func")
+	}
+	return &Timer{eng: eng, fn: fn}
+}
+
+// Reset arms the timer to fire d from now, canceling any pending expiry.
+// A zero d fires at the current time (still via the event queue, preserving
+// deterministic ordering).
+func (t *Timer) Reset(d simtime.Time) {
+	t.Stop()
+	t.ev = t.eng.After(d, func() {
+		t.ev = nil
+		t.fn()
+	})
+}
+
+// Stop disarms the timer. It reports whether a pending expiry was canceled.
+func (t *Timer) Stop() bool {
+	if t.ev != nil && t.ev.Pending() {
+		t.eng.Cancel(t.ev)
+		t.ev = nil
+		return true
+	}
+	t.ev = nil
+	return false
+}
+
+// Armed reports whether the timer has a pending expiry.
+func (t *Timer) Armed() bool { return t.ev != nil && t.ev.Pending() }
+
+// Deadline reports the pending expiry time; valid only when Armed.
+func (t *Timer) Deadline() simtime.Time {
+	if !t.Armed() {
+		return 0
+	}
+	return t.ev.At()
+}

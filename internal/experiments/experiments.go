@@ -1,0 +1,63 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Secs. IV and V). Each experiment is a pure function of its
+// parameter struct; Default() presets match the paper's setup and
+// Quick() presets shrink durations for tests and benchmarks while
+// preserving each experiment's qualitative shape.
+//
+// Index (see DESIGN.md for the full mapping):
+//
+//	TableI  – capability matrix + >20K-server scalability check
+//	Fig4    – dynamic resource provisioning time series (Sec. IV-A)
+//	Fig5    – single delay-timer energy sweep (Sec. IV-B)
+//	Fig6    – dual delay-timer energy reduction (Sec. IV-B)
+//	Fig8    – adaptive-pool state residency vs utilization (Sec. IV-C)
+//	Fig9    – per-server energy breakdown, timer vs adaptive (Sec. IV-C)
+//	Fig11   – joint server/network optimization (Sec. IV-D)
+//	Fig12   – server power validation vs reference model (Sec. V-A)
+//	Fig13   – switch power validation vs reference model (Sec. V-B)
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a generic result grid: a header row plus data rows, printable
+// as the tab-separated series the paper's plots are drawn from.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// Add appends a row of stringified cells.
+func (t *Table) Add(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Addf appends a row formatted from values (numbers use %.6g).
+func (t *Table) Addf(values ...any) {
+	cells := make([]string, len(values))
+	for i, v := range values {
+		switch x := v.(type) {
+		case float64:
+			cells[i] = fmt.Sprintf("%.6g", x)
+		case string:
+			cells[i] = x
+		default:
+			cells[i] = fmt.Sprint(v)
+		}
+	}
+	t.Add(cells...)
+}
+
+// String renders the table as TSV with a title and header line.
+func (t *Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s\n", t.Title)
+	b.WriteString(strings.Join(t.Header, "\t"))
+	b.WriteByte('\n')
+	for _, r := range t.Rows {
+		b.WriteString(strings.Join(r, "\t"))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

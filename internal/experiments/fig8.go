@@ -1,0 +1,133 @@
+package experiments
+
+import (
+	"holdcsim/internal/core"
+	"holdcsim/internal/power"
+	"holdcsim/internal/sched"
+	"holdcsim/internal/server"
+	"holdcsim/internal/simtime"
+	"holdcsim/internal/workload"
+)
+
+// Fig8Params parameterizes the Sec. IV-C energy-latency optimization
+// study: a 10-server × 10-core Xeon E5-2680 farm under the workload
+// adaptive dual-pool framework (WASP). Active-pool servers use only
+// shallow sleep (package C6); sleep-pool servers transition through
+// package C6 into suspend-to-RAM after τ. The figure reports each
+// utilization's mean state residency across the five states.
+type Fig8Params struct {
+	Seed         uint64
+	Servers      int
+	Utilizations []float64
+	Workloads    []Fig6Workload // reuse the named-service shape
+	TWakeup      float64
+	TSleep       float64
+	TauSec       float64
+	DurationSec  float64
+}
+
+// DefaultFig8 mirrors the paper's setup.
+func DefaultFig8() Fig8Params {
+	return Fig8Params{
+		Seed:         17,
+		Servers:      10,
+		Utilizations: []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9},
+		Workloads: []Fig6Workload{
+			{Name: "web-search", Service: workload.WebSearchService()},
+			{Name: "web-serving", Service: workload.WebServingService()},
+		},
+		// Thresholds in jobs per active server: the pool saturates its
+		// members (~8 of 10 cores committed) before waking another, so
+		// active residency tracks utilization and parked servers reach
+		// system sleep — the Fig. 8 behaviour.
+		TWakeup:     8.0,
+		TSleep:      4.0,
+		TauSec:      1.0,
+		DurationSec: 60,
+	}
+}
+
+// QuickFig8 shrinks the grid for tests and benches.
+func QuickFig8() Fig8Params {
+	p := DefaultFig8()
+	p.Utilizations = []float64{0.1, 0.5, 0.9}
+	p.Workloads = p.Workloads[:1]
+	p.DurationSec = 20
+	return p
+}
+
+// Fig8Row is one stacked bar: residency fractions at one utilization.
+type Fig8Row struct {
+	Workload  string
+	Rho       float64
+	Active    float64
+	WakeUp    float64
+	Idle      float64
+	PkgC6     float64
+	SysSleep  float64
+	P90LatS   float64
+	QoSTarget float64 // 2x mean service time (the paper's QoS setting)
+}
+
+// Fig8Result carries all rows.
+type Fig8Result struct {
+	Rows   []Fig8Row
+	Series *Table
+}
+
+// Fig8 runs the residency study.
+func Fig8(p Fig8Params) (*Fig8Result, error) {
+	out := &Fig8Result{Series: &Table{
+		Title: "Fig. 8: state residency under the energy-latency optimization framework",
+		Header: []string{"workload", "rho", "active", "wakeup", "idle",
+			"pkgc6", "syssleep", "p90_lat_s"},
+	}}
+	for _, wl := range p.Workloads {
+		for _, rho := range p.Utilizations {
+			row, err := fig8Point(p, wl, rho)
+			if err != nil {
+				return nil, err
+			}
+			out.Rows = append(out.Rows, row)
+			out.Series.Addf(wl.Name, rho, row.Active, row.WakeUp, row.Idle,
+				row.PkgC6, row.SysSleep, row.P90LatS)
+		}
+	}
+	return out, nil
+}
+
+func fig8Point(p Fig8Params, wl Fig6Workload, rho float64) (Fig8Row, error) {
+	prof := power.XeonE5_2680()
+	sc := server.DefaultConfig(prof)
+	pool := sched.NewAdaptivePool(p.TWakeup, p.TSleep, simtime.FromSeconds(p.TauSec))
+	cfg := core.Config{
+		Seed:         p.Seed,
+		Servers:      p.Servers,
+		ServerConfig: sc,
+		Placer:       pool,
+		Controller:   pool,
+		Arrivals: workload.Poisson{
+			Rate: workload.UtilizationRate(rho, p.Servers, prof.Cores, wl.Service.Mean())},
+		Factory:  workload.SingleTask{Service: wl.Service},
+		Duration: simtime.FromSeconds(p.DurationSec),
+	}
+	dc, err := core.Build(cfg)
+	if err != nil {
+		return Fig8Row{}, err
+	}
+	res, err := dc.Run()
+	if err != nil {
+		return Fig8Row{}, err
+	}
+	return Fig8Row{
+		Workload:  wl.Name,
+		Rho:       rho,
+		Active:    res.Residency[server.StateActive],
+		WakeUp:    res.Residency[server.StateWakeUp],
+		Idle:      res.Residency[server.StateIdle],
+		PkgC6:     res.Residency[server.StatePkgC6],
+		SysSleep:  res.Residency[server.StateSysSleep],
+		P90LatS:   res.Latency.Percentile(90),
+		QoSTarget: 2 * wl.Service.Mean(),
+	}, nil
+}

@@ -1,0 +1,255 @@
+// Package job implements HolDCSim's job and task model (paper Sec. III-C).
+//
+// Each job is a directed acyclic graph (DAG) G(V, E) of tasks. A link from
+// task i to task r means i must finish and communicate its result (E's
+// data-transfer size D, in bytes) to r's server before r may start —
+// spatial and temporal inter-dependence in the paper's terms. A job
+// finishes when all of its tasks finish.
+package job
+
+import (
+	"fmt"
+
+	"holdcsim/internal/simtime"
+)
+
+// ID uniquely identifies a job within a simulation run.
+type ID int64
+
+// TaskState is the lifecycle of a task.
+type TaskState int
+
+// Task lifecycle states.
+const (
+	TaskBlocked  TaskState = iota // waiting on parents or their data
+	TaskReady                     // all inputs available, not yet placed
+	TaskQueued                    // placed on a server, waiting for a core
+	TaskRunning                   // executing on a core
+	TaskFinished                  // execution complete
+)
+
+// String implements fmt.Stringer.
+func (s TaskState) String() string {
+	switch s {
+	case TaskBlocked:
+		return "blocked"
+	case TaskReady:
+		return "ready"
+	case TaskQueued:
+		return "queued"
+	case TaskRunning:
+		return "running"
+	case TaskFinished:
+		return "finished"
+	}
+	return fmt.Sprintf("TaskState(%d)", int(s))
+}
+
+// Edge is a dependency link: the parent's output of Bytes must reach the
+// child's server before the child becomes ready.
+type Edge struct {
+	From  *Task
+	To    *Task
+	Bytes int64 // data-transfer size D_l over the link
+}
+
+// Task is one executable unit of a job. Size is the nominal service time
+// on a 1.0-speed core; heterogeneous cores and DVFS scale it.
+type Task struct {
+	Job   *Job
+	Index int          // position within Job.Tasks
+	Size  simtime.Time // service-time requirement w_v at nominal speed
+
+	// Kind tags the task for server specialization (e.g. "app", "db").
+	// Empty means any server may run it.
+	Kind string
+
+	// Intensity models computation intensiveness (Sec. III-A): the
+	// fraction of the task that scales with core frequency. 1 = fully
+	// compute-bound; 0 = fully memory/IO-bound (frequency-insensitive).
+	Intensity float64
+
+	In  []*Edge // edges from parents
+	Out []*Edge // edges to children
+
+	State TaskState
+
+	// Placement and timing, filled in during simulation.
+	ServerID    int
+	ReadyAt     simtime.Time
+	StartAt     simtime.Time
+	FinishAt    simtime.Time
+	pendingDeps int // parents (or their transfers) not yet satisfied
+}
+
+// Name returns a stable human-readable identifier.
+func (t *Task) Name() string { return fmt.Sprintf("j%d/t%d", t.Job.ID, t.Index) }
+
+// IsRoot reports whether the task has no parents.
+func (t *Task) IsRoot() bool { return len(t.In) == 0 }
+
+// IsSink reports whether the task has no children.
+func (t *Task) IsSink() bool { return len(t.Out) == 0 }
+
+// PendingDeps reports the number of unsatisfied inputs.
+func (t *Task) PendingDeps() int { return t.pendingDeps }
+
+// SatisfyDep marks one input as satisfied (parent finished and its data
+// arrived) and reports whether the task became ready.
+func (t *Task) SatisfyDep() bool {
+	if t.pendingDeps <= 0 {
+		panic("job: SatisfyDep underflow on " + t.Name())
+	}
+	t.pendingDeps--
+	return t.pendingDeps == 0
+}
+
+// ServiceTime reports the execution time on a core running at the given
+// speed ratio (1.0 = nominal). Only the Intensity-weighted portion scales
+// with speed.
+func (t *Task) ServiceTime(speed float64) simtime.Time {
+	if speed <= 0 {
+		panic("job: non-positive core speed")
+	}
+	scaled := t.Size.Seconds() * (t.Intensity/speed + (1 - t.Intensity))
+	return simtime.FromSeconds(scaled)
+}
+
+// Job is a user service request expanded into a task DAG.
+type Job struct {
+	ID       ID
+	Tasks    []*Task
+	ArriveAt simtime.Time
+	FinishAt simtime.Time
+	finished int // count of finished tasks
+}
+
+// New returns an empty job arriving at the given time.
+func New(id ID, arriveAt simtime.Time) *Job {
+	return &Job{ID: id, ArriveAt: arriveAt}
+}
+
+// AddTask appends a task with the given nominal size and kind, returning
+// it. Intensity defaults to 1 (fully compute-bound).
+func (j *Job) AddTask(size simtime.Time, kind string) *Task {
+	t := &Task{Job: j, Index: len(j.Tasks), Size: size, Kind: kind, Intensity: 1}
+	j.Tasks = append(j.Tasks, t)
+	return t
+}
+
+// Link adds a dependency edge from parent to child carrying bytes of
+// result data. Both tasks must belong to this job.
+func (j *Job) Link(parent, child *Task, bytes int64) *Edge {
+	if parent.Job != j || child.Job != j {
+		panic("job: Link across jobs")
+	}
+	if parent == child {
+		panic("job: self-dependency on " + parent.Name())
+	}
+	e := &Edge{From: parent, To: child, Bytes: bytes}
+	parent.Out = append(parent.Out, e)
+	child.In = append(child.In, e)
+	return e
+}
+
+// Seal finalizes the DAG: computes pending-dependency counts, marks root
+// tasks ready, and validates acyclicity. Call exactly once, after all
+// AddTask/Link calls.
+func (j *Job) Seal() error {
+	if len(j.Tasks) == 0 {
+		return fmt.Errorf("job %d has no tasks", j.ID)
+	}
+	if _, err := j.TopoOrder(); err != nil {
+		return err
+	}
+	for _, t := range j.Tasks {
+		t.pendingDeps = len(t.In)
+		if t.pendingDeps == 0 {
+			t.State = TaskReady
+			t.ReadyAt = j.ArriveAt
+		} else {
+			t.State = TaskBlocked
+		}
+	}
+	return nil
+}
+
+// TopoOrder returns the tasks in a topological order, or an error if the
+// graph has a cycle.
+func (j *Job) TopoOrder() ([]*Task, error) {
+	indeg := make([]int, len(j.Tasks))
+	for _, t := range j.Tasks {
+		for _, e := range t.Out {
+			indeg[e.To.Index]++
+		}
+	}
+	queue := make([]*Task, 0, len(j.Tasks))
+	for _, t := range j.Tasks {
+		if indeg[t.Index] == 0 {
+			queue = append(queue, t)
+		}
+	}
+	order := make([]*Task, 0, len(j.Tasks))
+	for len(queue) > 0 {
+		t := queue[0]
+		queue = queue[1:]
+		order = append(order, t)
+		for _, e := range t.Out {
+			indeg[e.To.Index]--
+			if indeg[e.To.Index] == 0 {
+				queue = append(queue, e.To)
+			}
+		}
+	}
+	if len(order) != len(j.Tasks) {
+		return nil, fmt.Errorf("job %d task graph has a cycle", j.ID)
+	}
+	return order, nil
+}
+
+// ReadyTasks returns the tasks currently in the Ready state.
+func (j *Job) ReadyTasks() []*Task {
+	var out []*Task
+	for _, t := range j.Tasks {
+		if t.State == TaskReady {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// TaskFinished records that t completed at time now and reports whether
+// the whole job is now done. The caller is responsible for propagating
+// output edges (data transfers) and calling SatisfyDep on children.
+func (j *Job) TaskFinished(t *Task, now simtime.Time) (jobDone bool) {
+	if t.Job != j {
+		panic("job: TaskFinished for foreign task")
+	}
+	if t.State == TaskFinished {
+		panic("job: double finish of " + t.Name())
+	}
+	t.State = TaskFinished
+	t.FinishAt = now
+	j.finished++
+	if j.finished == len(j.Tasks) {
+		j.FinishAt = now
+		return true
+	}
+	return false
+}
+
+// Done reports whether all tasks have finished.
+func (j *Job) Done() bool { return j.finished == len(j.Tasks) }
+
+// Sojourn reports the job's total time in system (finish - arrive).
+// Valid only after Done.
+func (j *Job) Sojourn() simtime.Time { return j.FinishAt - j.ArriveAt }
+
+// TotalWork reports the sum of task sizes.
+func (j *Job) TotalWork() simtime.Time {
+	var w simtime.Time
+	for _, t := range j.Tasks {
+		w += t.Size
+	}
+	return w
+}

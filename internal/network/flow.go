@@ -1,0 +1,235 @@
+package network
+
+import (
+	"fmt"
+
+	"holdcsim/internal/engine"
+	"holdcsim/internal/simtime"
+	"holdcsim/internal/topology"
+)
+
+// Flow is one fluid data transfer (paper Sec. III-B: "dependent tasks
+// ... can either send a single flow of data or break the flow into
+// packets"). Flows on a shared link split capacity max-min fairly;
+// rates are recomputed on every flow arrival and departure.
+type Flow struct {
+	id    int64
+	links []*linkState
+	dirAB []bool // direction of traversal per link
+
+	total     float64 // bytes requested
+	remaining float64 // bytes
+	rate      float64 // bytes/sec, assigned by water-filling
+	last      simtime.Time
+	done      func()
+	ev        *engine.Event
+}
+
+// ID reports the flow's identifier.
+func (f *Flow) ID() int64 { return f.id }
+
+// Remaining reports unsent bytes as of the last rate change.
+func (f *Flow) Remaining() float64 { return f.remaining }
+
+// Rate reports the current max-min fair rate in bytes/sec.
+func (f *Flow) Rate() float64 { return f.rate }
+
+// settle advances the flow's progress to time now at its current rate.
+func (f *Flow) settle(now simtime.Time) {
+	if now > f.last {
+		f.remaining -= f.rate * (now - f.last).Seconds()
+		if f.remaining < 0 {
+			f.remaining = 0
+		}
+	}
+	f.last = now
+}
+
+// TransferFlow starts a flow of bytes from src to dst, invoking done
+// when the last byte arrives. Same-node transfers complete on the next
+// event-loop tick. Sleeping switches on the route are woken first; the
+// flow starts when they are up.
+func (n *Network) TransferFlow(src, dst topology.NodeID, bytes int64, done func()) error {
+	if bytes < 0 {
+		return fmt.Errorf("network: negative flow size %d", bytes)
+	}
+	id := n.nextFlowID
+	n.nextFlowID++
+	if src == dst || bytes == 0 {
+		n.eng.After(0, func() {
+			n.stats.BytesDelivered += bytes
+			if done != nil {
+				done()
+			}
+		})
+		return nil
+	}
+	nodes, links, err := n.path(src, dst, id)
+	if err != nil {
+		return err
+	}
+	n.stats.FlowsStarted++
+	wait := n.wakePathSwitches(nodes)
+	start := func() {
+		f := &Flow{
+			id:        id,
+			links:     links,
+			dirAB:     make([]bool, len(links)),
+			total:     float64(bytes),
+			remaining: float64(bytes),
+			last:      n.eng.Now(),
+			done:      done,
+		}
+		cur := src
+		for i, l := range links {
+			f.dirAB[i] = l.a == cur
+			cur = topology.NodeID(int(l.a) + int(l.b) - int(cur))
+			if f.dirAB[i] {
+				l.nFlowsAB++
+			} else {
+				l.nFlowsBA++
+			}
+			l.markActive()
+		}
+		n.flows = append(n.flows, f)
+		n.recomputeFlowRates()
+	}
+	if wait > 0 {
+		n.eng.After(wait, start)
+	} else {
+		start()
+	}
+	return nil
+}
+
+// ActiveFlows reports the number of in-flight flows.
+func (n *Network) ActiveFlows() int { return len(n.flows) }
+
+// recomputeFlowRates settles all flow progress, runs progressive-filling
+// (max-min fairness) over the directed link capacities, and reschedules
+// every completion event.
+func (n *Network) recomputeFlowRates() {
+	now := n.eng.Now()
+	for _, f := range n.flows {
+		f.settle(now)
+	}
+	n.waterFill()
+	for _, f := range n.flows {
+		n.eng.Cancel(f.ev)
+		f.ev = nil
+		var dur simtime.Time
+		switch {
+		case f.remaining <= 1e-9:
+			dur = 0
+		case f.rate <= 0:
+			continue // blocked (should not happen; capacities are positive)
+		default:
+			dur = simtime.FromSeconds(f.remaining / f.rate)
+			if dur < 0 {
+				dur = 0
+			}
+		}
+		flow := f
+		f.ev = n.eng.After(dur, func() { n.flowComplete(flow) })
+	}
+}
+
+// directedKey identifies one direction of one link for water-filling.
+type directedKey struct {
+	link int
+	ab   bool
+}
+
+// waterFill assigns max-min fair rates: iteratively find the bottleneck
+// resource (smallest fair share), freeze its flows at that rate, remove
+// their demand, and repeat.
+func (n *Network) waterFill() {
+	if len(n.flows) == 0 {
+		return
+	}
+	type resource struct {
+		cap     float64 // bytes/sec remaining
+		flows   []*Flow
+		unfixed int
+	}
+	resources := make(map[directedKey]*resource)
+	var order []directedKey // deterministic iteration
+	for _, f := range n.flows {
+		f.rate = -1 // unfixed marker
+		for i, l := range f.links {
+			k := directedKey{link: l.id, ab: f.dirAB[i]}
+			r, ok := resources[k]
+			if !ok {
+				r = &resource{cap: l.bytesPerSec()}
+				resources[k] = r
+				order = append(order, k)
+			}
+			r.flows = append(r.flows, f)
+			r.unfixed++
+		}
+	}
+	unfixed := len(n.flows)
+	for unfixed > 0 {
+		// Find the bottleneck resource.
+		bestShare := -1.0
+		var bestKey directedKey
+		for _, k := range order {
+			r := resources[k]
+			if r.unfixed == 0 {
+				continue
+			}
+			share := r.cap / float64(r.unfixed)
+			if bestShare < 0 || share < bestShare {
+				bestShare = share
+				bestKey = k
+			}
+		}
+		if bestShare < 0 {
+			break // no constrained resources left (cannot happen with links on every flow)
+		}
+		// Freeze every unfixed flow on the bottleneck.
+		for _, f := range resources[bestKey].flows {
+			if f.rate >= 0 {
+				continue
+			}
+			f.rate = bestShare
+			unfixed--
+			for i, l := range f.links {
+				k := directedKey{link: l.id, ab: f.dirAB[i]}
+				r := resources[k]
+				r.cap -= bestShare
+				if r.cap < 0 {
+					r.cap = 0
+				}
+				r.unfixed--
+			}
+		}
+	}
+}
+
+// flowComplete finishes a flow: releases its links and ports, notifies
+// the owner, and re-rates the remaining flows.
+func (n *Network) flowComplete(f *Flow) {
+	f.settle(n.eng.Now())
+	// Remove from the active list (kept in id order).
+	for i, g := range n.flows {
+		if g == f {
+			n.flows = append(n.flows[:i], n.flows[i+1:]...)
+			break
+		}
+	}
+	for i, l := range f.links {
+		if f.dirAB[i] {
+			l.nFlowsAB--
+		} else {
+			l.nFlowsBA--
+		}
+		l.markIdle()
+	}
+	n.stats.FlowsCompleted++
+	n.stats.BytesDelivered += int64(f.total)
+	n.recomputeFlowRates()
+	if f.done != nil {
+		f.done()
+	}
+}

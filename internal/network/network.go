@@ -1,0 +1,288 @@
+// Package network implements HolDCSim's switch and network architecture
+// (paper Sec. III-B): switches composed of a chassis, line cards and
+// ports with hierarchical power states (port Active/LPI/Off, line card
+// Active/Sleep/Off), packet-level store-and-forward communication,
+// flow-based communication with max-min fair bandwidth sharing, adaptive
+// link rate, and automatic line-card sleep with wake penalties.
+package network
+
+import (
+	"fmt"
+
+	"holdcsim/internal/engine"
+	"holdcsim/internal/power"
+	"holdcsim/internal/simtime"
+	"holdcsim/internal/topology"
+)
+
+// Config parameterizes the network simulation layered on a topology.
+type Config struct {
+	// SwitchProfile supplies power figures for every switch; ProfileFor,
+	// when set, overrides it per switch node.
+	SwitchProfile *power.SwitchProfile
+	ProfileFor    func(topology.NodeID) *power.SwitchProfile
+
+	// MTUBytes is the packet size for packet-level transfers.
+	MTUBytes int64
+	// SwitchLatency is the per-hop forwarding latency inside a switch.
+	SwitchLatency simtime.Time
+	// PropDelay is the per-link propagation delay.
+	PropDelay simtime.Time
+	// PortBufferBytes bounds each egress queue; excess packets drop.
+	PortBufferBytes int64
+	// LPIIdle is the idle time before a port enters Low Power Idle;
+	// negative disables LPI.
+	LPIIdle simtime.Time
+	// SwitchSleepIdle is the idle time before a switch's line cards
+	// sleep; negative disables switch sleep.
+	SwitchSleepIdle simtime.Time
+	// ECMP spreads flows across equal-cost paths by flow ID hash.
+	ECMP bool
+}
+
+// DefaultConfig returns sensible defaults: 1500 B MTU, 1 µs switching,
+// 500 ns propagation, 512 KiB buffers, LPI after 50 µs, no switch sleep.
+func DefaultConfig(profile *power.SwitchProfile) Config {
+	return Config{
+		SwitchProfile:   profile,
+		MTUBytes:        1500,
+		SwitchLatency:   simtime.Microsecond,
+		PropDelay:       500 * simtime.Nanosecond,
+		PortBufferBytes: 512 * 1024,
+		LPIIdle:         50 * simtime.Microsecond,
+		SwitchSleepIdle: -1,
+	}
+}
+
+// Stats aggregates network-wide counters.
+type Stats struct {
+	FlowsStarted     int64
+	FlowsCompleted   int64
+	PacketsDelivered int64
+	PacketsDropped   int64
+	BytesDelivered   int64
+}
+
+// Network is the simulated interconnect: one instance per data center.
+type Network struct {
+	eng *engine.Engine
+	g   *topology.Graph
+	cfg Config
+
+	switches map[topology.NodeID]*Switch
+	swList   []*Switch // deterministic iteration order
+	links    []*linkState
+
+	flows      []*Flow // active flows in id order
+	nextFlowID int64
+
+	stats Stats
+}
+
+// New lays the network over the topology graph: every switch node gets
+// line cards and ports per its profile; every link end attached to a
+// switch consumes one port.
+func New(eng *engine.Engine, g *topology.Graph, cfg Config) (*Network, error) {
+	if cfg.MTUBytes <= 0 {
+		return nil, fmt.Errorf("network: MTU must be positive")
+	}
+	n := &Network{
+		eng:      eng,
+		g:        g,
+		cfg:      cfg,
+		switches: make(map[topology.NodeID]*Switch),
+	}
+	profileFor := cfg.ProfileFor
+	if profileFor == nil {
+		profileFor = func(topology.NodeID) *power.SwitchProfile { return cfg.SwitchProfile }
+	}
+	for _, id := range g.Switches() {
+		prof := profileFor(id)
+		if prof == nil {
+			return nil, fmt.Errorf("network: no switch profile for node %d", id)
+		}
+		if err := prof.Validate(); err != nil {
+			return nil, err
+		}
+		if prof.Ports() < g.Degree(id) {
+			return nil, fmt.Errorf("network: switch %d (%s) needs %d ports, profile %q has %d",
+				id, g.Node(id).Name, g.Degree(id), prof.Name, prof.Ports())
+		}
+		sw := newSwitch(n, id, prof)
+		n.switches[id] = sw
+		n.swList = append(n.swList, sw)
+	}
+	// Instantiate link state; allocate switch ports in link order.
+	n.links = make([]*linkState, g.NumLinks())
+	for i := 0; i < g.NumLinks(); i++ {
+		lk := g.Link(i)
+		ls := &linkState{id: i, a: lk.A, b: lk.B, rateBps: lk.RateBps, net: n}
+		if sw, ok := n.switches[lk.A]; ok {
+			ls.portA = sw.allocPort(ls)
+		}
+		if sw, ok := n.switches[lk.B]; ok {
+			ls.portB = sw.allocPort(ls)
+		}
+		ls.egressAB = &egressQueue{link: ls, ab: true}
+		ls.egressBA = &egressQueue{link: ls, ab: false}
+		n.links[i] = ls
+	}
+	for _, sw := range n.swList {
+		// Ports with no link partner are administratively down and draw
+		// nothing (matches the paper's base-power measurements, which
+		// exclude unconnected ports).
+		for _, p := range sw.ports[sw.allocated:] {
+			p.state = power.PortOff
+		}
+		sw.recompute()
+		sw.maybeSleepArm()
+	}
+	return n, nil
+}
+
+// Engine exposes the simulation engine (used by controllers).
+func (n *Network) Engine() *engine.Engine { return n.eng }
+
+// Graph exposes the underlying topology.
+func (n *Network) Graph() *topology.Graph { return n.g }
+
+// Stats returns a copy of the network counters.
+func (n *Network) Stats() Stats { return n.stats }
+
+// Switches returns the switch objects in deterministic node order.
+func (n *Network) Switches() []*Switch { return n.swList }
+
+// SwitchAt returns the switch at a node (nil for hosts).
+func (n *Network) SwitchAt(id topology.NodeID) *Switch { return n.switches[id] }
+
+// NetworkPowerW reports the instantaneous draw of all switches.
+func (n *Network) NetworkPowerW() float64 {
+	sum := 0.0
+	for _, sw := range n.swList {
+		sum += sw.meter.Power()
+	}
+	return sum
+}
+
+// NetworkEnergyTo reports total switch energy in joules up to t.
+func (n *Network) NetworkEnergyTo(t simtime.Time) float64 {
+	sum := 0.0
+	for _, sw := range n.swList {
+		sum += sw.meter.EnergyTo(t)
+	}
+	return sum
+}
+
+// SleepingSwitchesOnPath counts switches on the (key-0) route from src
+// to dst that are currently asleep — the "network cost" signal of the
+// Server-Network-Aware policy (Sec. IV-D).
+func (n *Network) SleepingSwitchesOnPath(src, dst topology.NodeID) int {
+	nodes, _, err := n.g.Path(src, dst, 0)
+	if err != nil {
+		return 0
+	}
+	count := 0
+	for _, nd := range nodes {
+		if sw := n.switches[nd]; sw != nil && sw.sleeping {
+			count++
+		}
+	}
+	return count
+}
+
+// path computes the route for a new transfer, honoring ECMP config.
+func (n *Network) path(src, dst topology.NodeID, key int64) ([]topology.NodeID, []*linkState, error) {
+	ecmpKey := uint64(0)
+	if n.cfg.ECMP {
+		ecmpKey = uint64(key)*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d
+	}
+	nodes, linkIDs, err := n.g.Path(src, dst, ecmpKey)
+	if err != nil {
+		return nil, nil, err
+	}
+	links := make([]*linkState, len(linkIDs))
+	for i, id := range linkIDs {
+		links[i] = n.links[id]
+	}
+	return nodes, links, nil
+}
+
+// wakePathSwitches initiates wake on every sleeping switch along the
+// route and reports the time until all are awake (0 if none sleeping).
+func (n *Network) wakePathSwitches(nodes []topology.NodeID) simtime.Time {
+	var wait simtime.Time
+	for _, nd := range nodes {
+		if sw := n.switches[nd]; sw != nil {
+			if d := sw.wake(); d > wait {
+				wait = d
+			}
+		}
+	}
+	return wait
+}
+
+// linkState is one bidirectional link plus its simulation state: the
+// switch ports at its ends (nil at host ends), per-direction flow sets
+// and per-direction packet egress queues.
+type linkState struct {
+	id      int
+	a, b    topology.NodeID
+	rateBps float64
+	net     *Network
+
+	portA, portB *Port
+
+	nFlowsAB, nFlowsBA int
+
+	egressAB, egressBA *egressQueue
+}
+
+// bytesPerSec reports the link's current per-direction capacity in
+// bytes/second (adaptive link rate lowers it).
+func (l *linkState) bytesPerSec() float64 { return l.effectiveRateBps() / 8 }
+
+// effectiveRateBps is the configured rate limited by the slower of the
+// two port ALR settings.
+func (l *linkState) effectiveRateBps() float64 {
+	rate := l.rateBps
+	if l.portA != nil {
+		if r := l.portA.currentRateBps(); r < rate {
+			rate = r
+		}
+	}
+	if l.portB != nil {
+		if r := l.portB.currentRateBps(); r < rate {
+			rate = r
+		}
+	}
+	return rate
+}
+
+// markActive registers traffic on the link's ports (either direction).
+func (l *linkState) markActive() {
+	if l.portA != nil {
+		l.portA.addUser()
+	}
+	if l.portB != nil {
+		l.portB.addUser()
+	}
+}
+
+// markIdle releases one traffic unit from the link's ports.
+func (l *linkState) markIdle() {
+	if l.portA != nil {
+		l.portA.removeUser()
+	}
+	if l.portB != nil {
+		l.portB.removeUser()
+	}
+}
+
+// egress returns the egress queue for the given direction (fromA=true
+// means A->B).
+func (l *linkState) egress(fromA bool) *egressQueue {
+	if fromA {
+		return l.egressAB
+	}
+	return l.egressBA
+}

@@ -1,0 +1,173 @@
+package network
+
+import (
+	"fmt"
+
+	"holdcsim/internal/simtime"
+	"holdcsim/internal/topology"
+)
+
+// packet is one MTU-or-smaller unit traversing a fixed route
+// store-and-forward: at each hop it queues at the egress port, pays
+// serialization (bytes/link-rate, plus LPI wake penalty when the port
+// was idle), propagates, and is forwarded after the switch latency.
+type packet struct {
+	bytes int64
+	nodes []topology.NodeID
+	links []*linkState
+	hop   int // index of the link currently being traversed
+	xfer  *pktTransfer
+}
+
+// pktTransfer tracks one packet-mode data transfer.
+type pktTransfer struct {
+	total     int
+	delivered int
+	dropped   int
+	done      func()
+}
+
+// finishOne accounts one packet reaching a terminal state (delivered or
+// dropped) and fires the completion callback once all packets have.
+// Dropped packets are not retransmitted (drops are a congestion signal
+// counted in Stats); completion fires regardless so DAG progress cannot
+// deadlock on a full buffer.
+func (x *pktTransfer) finishOne(n *Network) {
+	if x.delivered+x.dropped == x.total {
+		if x.done != nil {
+			x.done()
+		}
+	}
+}
+
+// TransferPackets sends bytes from src to dst as MTU-sized packets,
+// invoking done when every packet has been delivered (or dropped).
+func (n *Network) TransferPackets(src, dst topology.NodeID, bytes int64, done func()) error {
+	if bytes < 0 {
+		return fmt.Errorf("network: negative transfer size %d", bytes)
+	}
+	id := n.nextFlowID
+	n.nextFlowID++
+	if src == dst || bytes == 0 {
+		n.eng.After(0, func() {
+			n.stats.BytesDelivered += bytes
+			if done != nil {
+				done()
+			}
+		})
+		return nil
+	}
+	nodes, links, err := n.path(src, dst, id)
+	if err != nil {
+		return err
+	}
+	nPkts := int((bytes + n.cfg.MTUBytes - 1) / n.cfg.MTUBytes)
+	xfer := &pktTransfer{total: nPkts, done: done}
+	wait := n.wakePathSwitches(nodes)
+	n.eng.After(wait, func() {
+		rem := bytes
+		for i := 0; i < nPkts; i++ {
+			sz := n.cfg.MTUBytes
+			if rem < sz {
+				sz = rem
+			}
+			rem -= sz
+			p := &packet{bytes: sz, nodes: nodes, links: links, xfer: xfer}
+			links[0].egress(links[0].a == src).enqueue(n, p)
+		}
+	})
+	return nil
+}
+
+// egressQueue is the FIFO at one directional link end. busy() feeds the
+// switch idle check.
+type egressQueue struct {
+	link *linkState
+	ab   bool // direction A->B
+
+	sending     bool
+	queue       []*packet
+	queuedBytes int64
+	drops       int64
+}
+
+func (q *egressQueue) busy() bool { return q.sending || len(q.queue) > 0 }
+
+// enqueue adds a packet, dropping it if the buffer would overflow.
+func (q *egressQueue) enqueue(n *Network, p *packet) {
+	if n.cfg.PortBufferBytes > 0 && q.busy() &&
+		q.queuedBytes+p.bytes > n.cfg.PortBufferBytes {
+		q.drops++
+		n.stats.PacketsDropped++
+		p.xfer.dropped++
+		p.xfer.finishOne(n)
+		return
+	}
+	q.queue = append(q.queue, p)
+	q.queuedBytes += p.bytes
+	q.maybeSend(n)
+}
+
+// maybeSend starts serializing the head packet if the line is free.
+func (q *egressQueue) maybeSend(n *Network) {
+	if q.sending || len(q.queue) == 0 {
+		return
+	}
+	p := q.queue[0]
+	q.queue = q.queue[1:]
+	q.queuedBytes -= p.bytes
+	q.sending = true
+
+	l := q.link
+	// Mark both ports busy for the duration of serialization +
+	// propagation; collect the LPI wake penalty.
+	var penalty simtime.Time
+	if l.portA != nil {
+		if w := l.portA.addUser(); w > penalty {
+			penalty = w
+		}
+		l.portA.bytesSent += p.bytes
+	}
+	if l.portB != nil {
+		if w := l.portB.addUser(); w > penalty {
+			penalty = w
+		}
+		l.portB.bytesSent += p.bytes
+	}
+	ser := simtime.FromSeconds(float64(p.bytes) / l.bytesPerSec())
+	n.eng.After(penalty+ser, func() {
+		q.sending = false
+		q.maybeSend(n)
+		n.eng.After(n.cfg.PropDelay, func() { n.packetArrived(p) })
+	})
+}
+
+// packetArrived lands a packet at the far end of its current link.
+func (n *Network) packetArrived(p *packet) {
+	l := p.links[p.hop]
+	l.markIdle()
+	p.hop++
+	at := p.nodes[p.hop]
+	if p.hop == len(p.links) { // destination host
+		n.stats.PacketsDelivered++
+		n.stats.BytesDelivered += p.bytes
+		p.xfer.delivered++
+		p.xfer.finishOne(n)
+		return
+	}
+	// Forwarding delay inside the switch (or relay host in server-centric
+	// topologies), then queue at the next egress.
+	next := p.links[p.hop]
+	n.eng.After(n.cfg.SwitchLatency, func() {
+		next.egress(next.a == at).enqueue(n, p)
+	})
+}
+
+// Drops reports total packets dropped at all egress queues.
+func (n *Network) Drops() int64 {
+	var d int64
+	for _, l := range n.links {
+		d += l.egressAB.drops + l.egressBA.drops
+	}
+	return d
+}

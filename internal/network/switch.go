@@ -1,0 +1,319 @@
+package network
+
+import (
+	"fmt"
+
+	"holdcsim/internal/engine"
+	"holdcsim/internal/power"
+	"holdcsim/internal/simtime"
+	"holdcsim/internal/stats"
+	"holdcsim/internal/topology"
+)
+
+// Switch residency labels.
+const (
+	SwitchStateActive = "Active"
+	SwitchStateWake   = "Wake-up"
+	SwitchStateSleep  = "Sleep"
+)
+
+// Switch models one switching element: chassis + line cards + ports,
+// with automatic line-card sleep and per-port LPI (paper Sec. III-B,
+// Fig. 3).
+type Switch struct {
+	net  *Network
+	node topology.NodeID
+	prof *power.SwitchProfile
+
+	lineCards []*LineCard
+	ports     []*Port
+	allocated int // ports handed out to links
+
+	sleeping  bool
+	waking    bool
+	wakeUntil simtime.Time
+	wakeEv    *engine.Event
+	sleepTmr  *engine.Timer
+
+	meter     *stats.EnergyMeter
+	residency *stats.Residency
+
+	wakeCount int64
+}
+
+func newSwitch(n *Network, node topology.NodeID, prof *power.SwitchProfile) *Switch {
+	sw := &Switch{
+		net:       n,
+		node:      node,
+		prof:      prof,
+		meter:     stats.NewEnergyMeter(fmt.Sprintf("switch%d", node)),
+		residency: stats.NewResidency(fmt.Sprintf("switch%d", node)),
+	}
+	for lc := 0; lc < prof.LineCards; lc++ {
+		card := &LineCard{sw: sw, idx: lc, state: power.LineCardActive}
+		for p := 0; p < prof.PortsPerLineCard; p++ {
+			port := &Port{sw: sw, lc: card, idx: lc*prof.PortsPerLineCard + p,
+				state: power.PortActive, rateIdx: len(prof.LinkRatesBps) - 1}
+			port.lpiTimer = engine.NewTimer(n.eng, port.enterLPI)
+			card.ports = append(card.ports, port)
+			sw.ports = append(sw.ports, port)
+		}
+		sw.lineCards = append(sw.lineCards, card)
+	}
+	sw.sleepTmr = engine.NewTimer(n.eng, sw.enterSleep)
+	return sw
+}
+
+// allocPort hands the next unused port to a link.
+func (s *Switch) allocPort(l *linkState) *Port {
+	p := s.ports[s.allocated]
+	s.allocated++
+	p.link = l
+	// Unconnected ports never see traffic; arm LPI on connected ones.
+	p.armLPI()
+	return p
+}
+
+// Node reports the topology node this switch occupies.
+func (s *Switch) Node() topology.NodeID { return s.node }
+
+// Profile reports the switch's power profile.
+func (s *Switch) Profile() *power.SwitchProfile { return s.prof }
+
+// Sleeping reports whether the line cards are asleep.
+func (s *Switch) Sleeping() bool { return s.sleeping }
+
+// WakeCount reports how many sleep->active transitions occurred.
+func (s *Switch) WakeCount() int64 { return s.wakeCount }
+
+// PowerW reports the switch's instantaneous draw.
+func (s *Switch) PowerW() float64 { return s.meter.Power() }
+
+// EnergyTo reports the switch's energy in joules up to t.
+func (s *Switch) EnergyTo(t simtime.Time) float64 { return s.meter.EnergyTo(t) }
+
+// Residency exposes the Active/Wake-up/Sleep tracker.
+func (s *Switch) Residency() *stats.Residency { return s.residency }
+
+// PortStates snapshots all port states (validation logging, Sec. V-B).
+func (s *Switch) PortStates() []power.PortState {
+	out := make([]power.PortState, len(s.ports))
+	for i, p := range s.ports {
+		out[i] = p.state
+	}
+	return out
+}
+
+// ActivePorts counts ports currently in the Active state.
+func (s *Switch) ActivePorts() int {
+	n := 0
+	for _, p := range s.ports {
+		if p.state == power.PortActive {
+			n++
+		}
+	}
+	return n
+}
+
+// wake begins (or continues) waking a sleeping switch, returning the
+// remaining time until it is usable. Awake switches return 0.
+func (s *Switch) wake() simtime.Time {
+	now := s.net.eng.Now()
+	if s.waking {
+		return s.wakeUntil - now
+	}
+	if !s.sleeping {
+		return 0
+	}
+	s.sleeping = false
+	s.waking = true
+	s.wakeCount++
+	lat := s.prof.LineCardWake.Latency
+	s.wakeUntil = now + lat
+	s.recompute()
+	s.wakeEv = s.net.eng.After(lat, func() {
+		s.waking = false
+		for _, lc := range s.lineCards {
+			lc.state = power.LineCardActive
+		}
+		for _, p := range s.ports {
+			if p.link != nil {
+				p.state = power.PortActive
+				p.armLPI()
+			}
+		}
+		s.recompute()
+		s.maybeSleepArm()
+	})
+	return lat
+}
+
+// enterSleep puts line cards to sleep and ports off, if still idle.
+func (s *Switch) enterSleep() {
+	if s.sleeping || s.waking || !s.idle() {
+		return
+	}
+	s.sleeping = true
+	for _, lc := range s.lineCards {
+		lc.state = power.LineCardSleep
+	}
+	for _, p := range s.ports {
+		p.lpiTimer.Stop()
+		p.state = power.PortOff
+	}
+	s.recompute()
+}
+
+// idle reports whether no port has users or queued packets.
+func (s *Switch) idle() bool {
+	for _, p := range s.ports {
+		if p.users > 0 {
+			return false
+		}
+		if p.link != nil {
+			if p.link.egressAB.busy() || p.link.egressBA.busy() {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// maybeSleepArm (re)arms the sleep timer when the switch is idle and
+// sleep is enabled.
+func (s *Switch) maybeSleepArm() {
+	if s.net.cfg.SwitchSleepIdle < 0 || s.sleeping || s.waking {
+		return
+	}
+	if s.idle() {
+		s.sleepTmr.Reset(s.net.cfg.SwitchSleepIdle)
+	}
+}
+
+// recompute re-derives the switch draw from chassis, line-card and port
+// states.
+func (s *Switch) recompute() {
+	now := s.net.eng.Now()
+	w := s.prof.ChassisWatts
+	label := SwitchStateActive
+	switch {
+	case s.waking:
+		w += float64(s.prof.LineCards) * s.prof.LineCardWake.Watts
+		label = SwitchStateWake
+	case s.sleeping:
+		w += float64(s.prof.LineCards) * s.prof.LineCardSleepW
+		label = SwitchStateSleep
+	default:
+		for _, lc := range s.lineCards {
+			switch lc.state {
+			case power.LineCardActive:
+				w += s.prof.LineCardActiveW
+			case power.LineCardSleep:
+				w += s.prof.LineCardSleepW
+			}
+		}
+		for _, p := range s.ports {
+			switch p.state {
+			case power.PortActive:
+				w += s.prof.PortActiveW * s.prof.PortRateScale[p.rateIdx]
+			case power.PortLPI:
+				w += s.prof.PortLPIW
+			}
+		}
+	}
+	s.meter.SetPower(now, w)
+	s.residency.SetState(now, label)
+}
+
+// LineCard groups ports; it sleeps as a unit (paper Fig. 3).
+type LineCard struct {
+	sw    *Switch
+	idx   int
+	state power.LineCardState
+	ports []*Port
+}
+
+// State reports the line card's power state.
+func (lc *LineCard) State() power.LineCardState { return lc.state }
+
+// Port is one switch port: its state machine is Active <-> LPI (idle
+// threshold / traffic) and Off while the line card sleeps. Adaptive link
+// rate selects among the profile's rate points.
+type Port struct {
+	sw   *Switch
+	lc   *LineCard
+	idx  int
+	link *linkState
+
+	state    power.PortState
+	users    int
+	lpiTimer *engine.Timer
+	rateIdx  int
+
+	bytesSent  int64 // accumulator for the ALR controller window
+	lpiEntries int64
+}
+
+// State reports the port's power state.
+func (p *Port) State() power.PortState { return p.state }
+
+// RateIdx reports the current adaptive-link-rate index.
+func (p *Port) RateIdx() int { return p.rateIdx }
+
+// LPIEntries reports how many times the port entered LPI.
+func (p *Port) LPIEntries() int64 { return p.lpiEntries }
+
+// currentRateBps reports the port's ALR-selected rate.
+func (p *Port) currentRateBps() float64 {
+	if len(p.sw.prof.LinkRatesBps) == 0 {
+		return 1e18 // unconstrained
+	}
+	return p.sw.prof.LinkRatesBps[p.rateIdx]
+}
+
+// addUser registers one traffic unit (flow or in-flight packet),
+// reports the wake penalty if the port was in LPI.
+func (p *Port) addUser() simtime.Time {
+	p.users++
+	p.lpiTimer.Stop()
+	var penalty simtime.Time
+	if p.state == power.PortLPI {
+		penalty = p.sw.prof.PortWake.Latency
+	}
+	if p.state != power.PortActive {
+		p.state = power.PortActive
+		p.sw.recompute()
+	}
+	return penalty
+}
+
+// removeUser releases one traffic unit; the LPI countdown starts when
+// the port drains.
+func (p *Port) removeUser() {
+	if p.users <= 0 {
+		panic("network: port user underflow")
+	}
+	p.users--
+	if p.users == 0 {
+		p.armLPI()
+		p.sw.maybeSleepArm()
+	}
+}
+
+// armLPI starts the LPI idle countdown if enabled.
+func (p *Port) armLPI() {
+	if p.sw.net.cfg.LPIIdle < 0 || p.link == nil {
+		return
+	}
+	p.lpiTimer.Reset(p.sw.net.cfg.LPIIdle)
+}
+
+// enterLPI moves the idle port into Low Power Idle.
+func (p *Port) enterLPI() {
+	if p.users > 0 || p.state != power.PortActive {
+		return
+	}
+	p.state = power.PortLPI
+	p.lpiEntries++
+	p.sw.recompute()
+}

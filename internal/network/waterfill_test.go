@@ -1,0 +1,126 @@
+package network
+
+import (
+	"testing"
+	"testing/quick"
+
+	"holdcsim/internal/engine"
+	"holdcsim/internal/power"
+	"holdcsim/internal/topology"
+)
+
+// TestWaterFillInvariants checks max-min fairness invariants on random
+// flow sets over a fat-tree:
+//  1. every active flow has a strictly positive rate;
+//  2. no directed link's assigned rates exceed its capacity;
+//  3. every flow is bottlenecked: on at least one of its links the
+//     remaining capacity is (near) zero — otherwise its rate could grow,
+//     contradicting max-min optimality.
+func TestWaterFillInvariants(t *testing.T) {
+	g, err := topology.FatTree{K: 4, RateBps: 1e9}.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hosts := g.Hosts()
+
+	f := func(seed uint64, nFlows uint8) bool {
+		eng := engine.New()
+		cfg := DefaultConfig(power.DataCenter10G(8))
+		cfg.ECMP = true
+		n, err := New(eng, g, cfg)
+		if err != nil {
+			return false
+		}
+		x := seed
+		count := int(nFlows%20) + 2
+		for i := 0; i < count; i++ {
+			x = x*6364136223846793005 + 1442695040888963407
+			src := hosts[x%uint64(len(hosts))]
+			x = x*6364136223846793005 + 1442695040888963407
+			dst := hosts[x%uint64(len(hosts))]
+			if src == dst {
+				continue
+			}
+			// Large flows so none completes during the check window.
+			if err := n.TransferFlow(src, dst, 1<<40, nil); err != nil {
+				return false
+			}
+		}
+		eng.RunUntil(engineTick)
+		if len(n.flows) == 0 {
+			return true
+		}
+		// (1) positive rates.
+		for _, fl := range n.flows {
+			if fl.rate <= 0 {
+				return false
+			}
+		}
+		// (2) capacity respected per directed link.
+		type dirKey struct {
+			link int
+			ab   bool
+		}
+		usage := make(map[dirKey]float64)
+		for _, fl := range n.flows {
+			for i, l := range fl.links {
+				usage[dirKey{l.id, fl.dirAB[i]}] += fl.rate
+			}
+		}
+		for k, used := range usage {
+			cap := n.links[k.link].bytesPerSec()
+			if used > cap*(1+1e-9) {
+				return false
+			}
+		}
+		// (3) every flow hits a saturated link.
+		for _, fl := range n.flows {
+			bottlenecked := false
+			for i, l := range fl.links {
+				k := dirKey{l.id, fl.dirAB[i]}
+				if usage[k] >= l.bytesPerSec()*(1-1e-9) {
+					bottlenecked = true
+					break
+				}
+			}
+			if !bottlenecked {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+const engineTick = 1000 // 1 µs: enough to settle the initial rate assignment
+
+func TestFlowThroughHostTransit(t *testing.T) {
+	// Flows across a BCube path that relays through hosts must work and
+	// respect link sharing on the relay's links.
+	g, err := topology.BCube{N: 2, K: 1, RateBps: 1e9}.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := engine.New()
+	n, err := New(eng, g, DefaultConfig(power.DataCenter10G(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hosts := g.Hosts()
+	// Host 0 (00) to host 3 (11): digits differ in both positions, so
+	// the path relays through an intermediate host.
+	done := false
+	if err := n.TransferFlow(hosts[0], hosts[3], 125_000_000, func() { done = true }); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	if !done {
+		t.Fatal("host-transit flow did not complete")
+	}
+	st := n.Stats()
+	if st.FlowsCompleted != 1 || st.BytesDelivered != 125_000_000 {
+		t.Errorf("stats = %+v", st)
+	}
+}

@@ -1,0 +1,52 @@
+package power
+
+import "testing"
+
+func TestGStateMapping(t *testing.T) {
+	cases := []struct {
+		s SState
+		g GState
+	}{
+		{S0, G0},
+		{S3, G1},
+		{S5, G2},
+	}
+	for _, c := range cases {
+		if got := GlobalState(c.s); got != c.g {
+			t.Errorf("GlobalState(%v) = %v, want %v", c.s, got, c.g)
+		}
+	}
+}
+
+func TestGStateString(t *testing.T) {
+	want := map[GState]string{G0: "G0", G1: "G1", G2: "G2", G3: "G3"}
+	for g, s := range want {
+		if g.String() != s {
+			t.Errorf("%d.String() = %q, want %q", int(g), g.String(), s)
+		}
+	}
+	if GState(9).String() != "G(9)" {
+		t.Error("unknown G-state formatting")
+	}
+}
+
+func TestDualSocketValidation(t *testing.T) {
+	p := DualSocketXeon()
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	p.Cores = 19 // does not divide by 2 sockets
+	if p.Validate() == nil {
+		t.Error("indivisible core count accepted")
+	}
+	p = DualSocketXeon()
+	p.Sockets = -1
+	if p.Validate() == nil {
+		t.Error("negative sockets accepted")
+	}
+	// Zero sockets means one.
+	p = XeonE5_2680()
+	if p.SocketCount() != 1 || p.CoresPerSocket() != 10 {
+		t.Errorf("default socket count = %d", p.SocketCount())
+	}
+}

@@ -1,0 +1,180 @@
+package sched
+
+import (
+	"holdcsim/internal/job"
+	"holdcsim/internal/server"
+	"holdcsim/internal/simtime"
+)
+
+// AdaptivePool implements the Sec. IV-C energy-latency optimization
+// framework (WASP [66]): servers are coordinated between an active pool
+// — whose local power controllers allow only shallow sleep (package C6)
+// — and a sleep pool whose servers transition through package C6 into
+// system sleep (suspend-to-RAM) after a delay timer τ.
+//
+// A load estimator monitors pending jobs per active server. Above
+// TWakeup, one server migrates sleep->active (with a proactive system
+// wake); below TSleep, one migrates active->sleep. The front-end
+// dispatches only to the active pool.
+type AdaptivePool struct {
+	// TWakeup and TSleep are the load thresholds (jobs per active
+	// server).
+	TWakeup, TSleep float64
+	// Tau is the sleep-pool delay timer before suspend-to-RAM.
+	Tau simtime.Time
+	// MinActive floors the active pool.
+	MinActive int
+	// Dwell rate-limits pool migrations: at most one per Dwell. Without
+	// it the instantaneous load estimator would flip servers between
+	// pools at event rate and they would live in transition states.
+	Dwell simtime.Time
+
+	active     map[int]bool
+	nActive    int
+	configured bool
+	lastChange simtime.Time
+	changed    bool
+
+	// Transitions counts pool migrations for diagnostics.
+	Transitions int64
+}
+
+// NewAdaptivePool returns the policy with the given thresholds and a
+// one-second migration dwell.
+func NewAdaptivePool(tWakeup, tSleep float64, tau simtime.Time) *AdaptivePool {
+	return &AdaptivePool{
+		TWakeup:   tWakeup,
+		TSleep:    tSleep,
+		Tau:       tau,
+		MinActive: 1,
+		Dwell:     simtime.Second,
+		active:    make(map[int]bool),
+	}
+}
+
+// ensureConfigured puts every server in the active pool initially with
+// shallow-sleep-only controllers; the load estimator then sheds servers.
+func (a *AdaptivePool) ensureConfigured(s *Scheduler) {
+	if a.configured {
+		return
+	}
+	a.configured = true
+	for _, srv := range s.servers {
+		a.active[srv.ID()] = true
+		srv.SetDelayTimer(false, 0) // active pool: PkgC6 only, no S3
+	}
+	a.nActive = len(s.servers)
+}
+
+// ActiveServers reports the active pool size.
+func (a *AdaptivePool) ActiveServers() int { return a.nActive }
+
+// Place implements Placer: least-loaded within the active pool (the
+// front-end load balancer "dispatches tasks to the servers in active
+// server pool only").
+func (a *AdaptivePool) Place(s *Scheduler, t *job.Task, candidates []*server.Server) *server.Server {
+	a.ensureConfigured(s)
+	var best *server.Server
+	for _, srv := range candidates {
+		if !a.active[srv.ID()] {
+			continue
+		}
+		if best == nil || srv.PendingTasks() < best.PendingTasks() {
+			best = srv
+		}
+	}
+	if best == nil {
+		// Active pool empty (transient): wake the least-loaded server.
+		best = candidates[0]
+		for _, srv := range candidates[1:] {
+			if srv.PendingTasks() < best.PendingTasks() {
+				best = srv
+			}
+		}
+		a.promote(s, best)
+	}
+	return best
+}
+
+// Name implements Placer.
+func (a *AdaptivePool) Name() string { return "adaptive-pool" }
+
+// OnJobArrival implements Controller.
+func (a *AdaptivePool) OnJobArrival(s *Scheduler, j *job.Job) {
+	a.ensureConfigured(s)
+	a.evaluate(s)
+}
+
+// OnTaskDone implements Controller.
+func (a *AdaptivePool) OnTaskDone(s *Scheduler, t *job.Task) {
+	a.ensureConfigured(s)
+	a.evaluate(s)
+}
+
+// evaluate applies the threshold policy, at most one migration per
+// Dwell.
+func (a *AdaptivePool) evaluate(s *Scheduler) {
+	now := s.eng.Now()
+	if a.changed && now-a.lastChange < a.Dwell {
+		return
+	}
+	load := s.LoadPerServer(a.nActive)
+	switch {
+	case load > a.TWakeup && a.nActive < len(s.servers):
+		// Promote the sleeping server with the fewest pending tasks.
+		var pick *server.Server
+		for _, srv := range s.servers {
+			if a.active[srv.ID()] {
+				continue
+			}
+			if pick == nil || srv.PendingTasks() < pick.PendingTasks() {
+				pick = srv
+			}
+		}
+		if pick != nil {
+			a.promote(s, pick)
+		}
+	case load < a.TSleep && a.nActive > a.MinActive:
+		// Demote the least-loaded active server into the sleep pool.
+		var pick *server.Server
+		for _, srv := range s.servers {
+			if !a.active[srv.ID()] {
+				continue
+			}
+			if pick == nil || srv.PendingTasks() < pick.PendingTasks() {
+				pick = srv
+			}
+		}
+		if pick != nil {
+			a.demote(s, pick)
+		}
+	}
+}
+
+// promote moves a server into the active pool: its controller reverts to
+// shallow-sleep-only and it pre-warms with a system wake.
+func (a *AdaptivePool) promote(s *Scheduler, srv *server.Server) {
+	if a.active[srv.ID()] {
+		return
+	}
+	a.active[srv.ID()] = true
+	a.nActive++
+	a.Transitions++
+	a.lastChange = s.eng.Now()
+	a.changed = true
+	srv.SetDelayTimer(false, 0)
+	srv.WakeUp()
+}
+
+// demote moves a server into the sleep pool: after τ idle it suspends.
+func (a *AdaptivePool) demote(s *Scheduler, srv *server.Server) {
+	if !a.active[srv.ID()] {
+		return
+	}
+	a.active[srv.ID()] = false
+	a.nActive--
+	a.Transitions++
+	a.lastChange = s.eng.Now()
+	a.changed = true
+	srv.SetDelayTimer(true, a.Tau)
+}

@@ -1,0 +1,99 @@
+package sched
+
+import (
+	"holdcsim/internal/job"
+	"holdcsim/internal/server"
+	"holdcsim/internal/simtime"
+)
+
+// DualTimer implements the dual delay-timer strategy of Sec. IV-B
+// (originally [69]): the farm splits into a high-τ pool that is
+// prioritized for incoming work (so it stays warm) and a low-τ pool that
+// quickly drops into system sleep after draining. Placement prefers
+// high-τ servers with spare slots, spilling into the low-τ pool only
+// under load.
+type DualTimer struct {
+	// HighCount servers (lowest IDs) get TauHigh; the rest get TauLow.
+	HighCount       int
+	TauHigh, TauLow simtime.Time
+	configured      bool
+}
+
+// NewDualTimer returns the policy; it configures server delay timers on
+// first placement.
+func NewDualTimer(highCount int, tauHigh, tauLow simtime.Time) *DualTimer {
+	return &DualTimer{HighCount: highCount, TauHigh: tauHigh, TauLow: tauLow}
+}
+
+func (d *DualTimer) ensureConfigured(s *Scheduler) {
+	if d.configured {
+		return
+	}
+	d.configured = true
+	for i, srv := range s.servers {
+		if i < d.HighCount {
+			srv.SetDelayTimer(true, d.TauHigh)
+		} else {
+			srv.SetDelayTimer(true, d.TauLow)
+		}
+	}
+}
+
+// Place implements Placer. The high-τ pool absorbs load first
+// (least-loaded within it); overflow packs into as few low-τ servers as
+// possible so the rest of the low pool stays asleep — spreading the
+// spill would make the aggressive low-τ timers flap.
+func (d *DualTimer) Place(s *Scheduler, t *job.Task, candidates []*server.Server) *server.Server {
+	d.ensureConfigured(s)
+	// Least-loaded high-τ server with a spare slot.
+	var best *server.Server
+	for i, srv := range candidates {
+		if i >= d.HighCount {
+			break
+		}
+		if s.Load(srv) >= srv.Cores() {
+			continue
+		}
+		if best == nil || s.Load(srv) < s.Load(best) {
+			best = srv
+		}
+	}
+	if best != nil {
+		return best
+	}
+	// Spill: pack into the busiest awake low-τ server with a spare slot.
+	for _, srv := range candidates[d.HighCount:] {
+		if srv.Asleep() || s.Load(srv) >= srv.Cores() {
+			continue
+		}
+		if best == nil || s.Load(srv) > s.Load(best) {
+			best = srv
+		}
+	}
+	if best != nil {
+		return best
+	}
+	// Wake the first sleeping low-τ server.
+	for _, srv := range candidates[d.HighCount:] {
+		if srv.Asleep() {
+			return srv
+		}
+	}
+	// Fully saturated: least loaded overall.
+	best = candidates[0]
+	for _, srv := range candidates[1:] {
+		if s.Load(srv) < s.Load(best) {
+			best = srv
+		}
+	}
+	return best
+}
+
+// Name implements Placer.
+func (d *DualTimer) Name() string { return "dual-delay-timer" }
+
+// OnJobArrival implements Controller.
+func (d *DualTimer) OnJobArrival(s *Scheduler, j *job.Job) { d.ensureConfigured(s) }
+
+// OnTaskDone implements Controller.
+func (d *DualTimer) OnTaskDone(s *Scheduler, t *job.Task) {}

@@ -1,0 +1,154 @@
+package sched
+
+import (
+	"holdcsim/internal/job"
+	"holdcsim/internal/server"
+	"holdcsim/internal/simtime"
+	"holdcsim/internal/stats"
+)
+
+// Provisioner implements the Sec. IV-A dynamic resource provisioning
+// policy: each server carries minimum and maximum load-per-server
+// thresholds. When the current load per active server drops below the
+// minimum, one server is put aside (it finishes pending tasks, then
+// sleeps); when it exceeds the maximum, one parked server is activated.
+// It doubles as the scheduler's Placer, dispatching only to the active
+// set.
+type Provisioner struct {
+	// MinLoad and MaxLoad bound the jobs-per-active-server band.
+	MinLoad, MaxLoad float64
+	// MinActive floors the active set (at least 1).
+	MinActive int
+
+	active   map[int]bool // server ID -> active
+	nActive  int
+	initOnce bool
+
+	// ActiveSeries tracks the active-server count over time (Fig. 4's
+	// lower curve); JobsSeries tracks jobs in system.
+	ActiveSeries *stats.TimeWeighted
+	JobsSeries   *stats.TimeWeighted
+}
+
+// NewProvisioner returns a provisioner with the given thresholds. All
+// servers start active, matching the paper's initial condition.
+func NewProvisioner(minLoad, maxLoad float64) *Provisioner {
+	return &Provisioner{
+		MinLoad:      minLoad,
+		MaxLoad:      maxLoad,
+		MinActive:    1,
+		active:       make(map[int]bool),
+		ActiveSeries: stats.NewTimeWeighted("active-servers"),
+		JobsSeries:   stats.NewTimeWeighted("jobs-in-system"),
+	}
+}
+
+func (p *Provisioner) ensureInit(s *Scheduler) {
+	if p.initOnce {
+		return
+	}
+	p.initOnce = true
+	for _, srv := range s.servers {
+		p.active[srv.ID()] = true
+		// Active servers stay powered; the provisioner itself moves
+		// parked servers into low power ("put aside after finishing its
+		// pending tasks", Sec. IV-A).
+		srv.SetDelayTimer(false, 0)
+	}
+	p.nActive = len(s.servers)
+	now := s.eng.Now()
+	p.ActiveSeries.Start(now, float64(p.nActive))
+	p.JobsSeries.Start(now, 0)
+}
+
+// ActiveServers reports the current active count.
+func (p *Provisioner) ActiveServers() int { return p.nActive }
+
+// Place implements Placer: least-loaded among the active set.
+func (p *Provisioner) Place(s *Scheduler, t *job.Task, candidates []*server.Server) *server.Server {
+	p.ensureInit(s)
+	var best *server.Server
+	for _, srv := range candidates {
+		if !p.active[srv.ID()] {
+			continue
+		}
+		if best == nil || srv.PendingTasks() < best.PendingTasks() {
+			best = srv
+		}
+	}
+	if best == nil {
+		best = candidates[0] // all parked: fall back (and rebalance soon)
+	}
+	return best
+}
+
+// Name implements Placer.
+func (p *Provisioner) Name() string { return "provisioner" }
+
+// OnJobArrival implements Controller.
+func (p *Provisioner) OnJobArrival(s *Scheduler, j *job.Job) {
+	p.ensureInit(s)
+	p.JobsSeries.Set(s.eng.Now(), float64(s.JobsInSystem()))
+	p.rebalance(s)
+}
+
+// OnTaskDone implements Controller.
+func (p *Provisioner) OnTaskDone(s *Scheduler, t *job.Task) {
+	p.ensureInit(s)
+	p.JobsSeries.Set(s.eng.Now(), float64(s.JobsInSystem()))
+	p.rebalance(s)
+}
+
+// rebalance applies the threshold policy: one transition per event, as
+// in the paper ("one server will be put aside"/"set to active state").
+func (p *Provisioner) rebalance(s *Scheduler) {
+	load := s.LoadPerServer(p.nActive)
+	switch {
+	case load > p.MaxLoad && p.nActive < len(s.servers):
+		// Activate the parked server with the lowest ID; pre-warm it
+		// and restore its always-on controller.
+		for _, srv := range s.servers {
+			if !p.active[srv.ID()] {
+				p.active[srv.ID()] = true
+				p.nActive++
+				srv.SetDelayTimer(false, 0)
+				srv.WakeUp()
+				break
+			}
+		}
+	case load < p.MinLoad && p.nActive > p.MinActive:
+		// Park the active server with the fewest pending tasks: it
+		// finishes its backlog, then the zero-length delay timer drops
+		// it into system sleep.
+		var victim *server.Server
+		for _, srv := range s.servers {
+			if !p.active[srv.ID()] {
+				continue
+			}
+			if victim == nil || srv.PendingTasks() < victim.PendingTasks() {
+				victim = srv
+			}
+		}
+		if victim != nil {
+			p.active[victim.ID()] = false
+			p.nActive--
+			victim.SetDelayTimer(true, 0)
+		}
+	}
+	p.ActiveSeries.Set(s.eng.Now(), float64(p.nActive))
+}
+
+// SampleSeries records (time, active, jobs) rows at a fixed interval for
+// plotting Fig. 4. It must be called before the run starts.
+func (p *Provisioner) SampleSeries(s *Scheduler, every simtime.Time, until simtime.Time,
+	record func(t simtime.Time, activeServers float64, jobsInSystem float64)) {
+	var tick func()
+	tick = func() {
+		now := s.eng.Now()
+		record(now, float64(p.nActive), float64(s.JobsInSystem()))
+		if now+every <= until {
+			s.eng.After(every, tick)
+		}
+	}
+	s.eng.After(every, tick)
+}

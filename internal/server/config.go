@@ -1,0 +1,121 @@
+// Package server implements HolDCSim's server architecture (paper
+// Sec. III-A): multi-core (optionally heterogeneous) servers with local
+// task queues, a local scheduler, and a hierarchical ACPI power
+// controller spanning core C-states, package C-states and system sleep
+// states, including the delay-timer mechanism of Sec. IV-B.
+package server
+
+import (
+	"fmt"
+
+	"holdcsim/internal/power"
+	"holdcsim/internal/simtime"
+)
+
+// QueueMode selects the local queueing discipline (Sec. II cites Li et
+// al. [37] on the performance impact of unified vs per-core queues).
+type QueueMode int
+
+// Local queue modes.
+const (
+	// QueueUnified buffers tasks in one FIFO; any core that frees up
+	// pulls the head.
+	QueueUnified QueueMode = iota
+	// QueuePerCore assigns each task to a core queue on arrival
+	// (shortest queue first) and cores serve only their own queue.
+	QueuePerCore
+)
+
+// String implements fmt.Stringer.
+func (m QueueMode) String() string {
+	switch m {
+	case QueueUnified:
+		return "unified"
+	case QueuePerCore:
+		return "per-core"
+	}
+	return fmt.Sprintf("QueueMode(%d)", int(m))
+}
+
+// Config parameterizes one server instance.
+type Config struct {
+	// Profile supplies power figures and the core count. Required.
+	Profile *power.ServerProfile
+
+	// QueueMode selects the local scheduler's queueing discipline.
+	QueueMode QueueMode
+
+	// CoreSpeeds optionally gives per-core speed ratios for
+	// heterogeneous processors (len must equal Profile.Cores).
+	// Nil means all cores run at 1.0.
+	CoreSpeeds []float64
+
+	// Idle governor thresholds: time spent idle before a core is
+	// promoted into the next deeper C-state. A negative value disables
+	// that state. Zero promotes immediately.
+	IdleToC1 simtime.Time
+	IdleToC3 simtime.Time
+	IdleToC6 simtime.Time
+
+	// PkgC6Enabled allows the package to enter PC6 once every core is
+	// in C6.
+	PkgC6Enabled bool
+
+	// DelayTimerEnabled arms a server-level delay timer: after the
+	// server has been completely idle for DelayTimer, it enters
+	// SleepState (Sec. IV-B). Zero DelayTimer sleeps immediately on
+	// idle.
+	DelayTimerEnabled bool
+	DelayTimer        simtime.Time
+
+	// SleepState is the target of the delay timer: S3 (suspend-to-RAM,
+	// the paper's "system sleep") or S5 (off). Defaults to S3.
+	SleepState power.SState
+
+	// Kinds optionally restricts which task kinds this server is
+	// configured to perform (Sec. III-C: "servers ... can be configured
+	// to perform different tasks"). Empty means any. Enforced by the
+	// global scheduler, carried here as the server's declared capability.
+	Kinds []string
+}
+
+// DefaultConfig returns a config with the common idle governor (C1
+// immediately, C3 after 100 µs, C6 after 1 ms), package C6 enabled, and
+// no delay timer (Active-Idle behaviour at the system level).
+func DefaultConfig(profile *power.ServerProfile) Config {
+	return Config{
+		Profile:      profile,
+		QueueMode:    QueueUnified,
+		IdleToC1:     0,
+		IdleToC3:     100 * simtime.Microsecond,
+		IdleToC6:     1 * simtime.Millisecond,
+		PkgC6Enabled: true,
+		SleepState:   power.S3,
+	}
+}
+
+// Validate reports configuration errors.
+func (c *Config) Validate() error {
+	if c.Profile == nil {
+		return fmt.Errorf("server: config needs a power profile")
+	}
+	if err := c.Profile.Validate(); err != nil {
+		return err
+	}
+	if c.CoreSpeeds != nil && len(c.CoreSpeeds) != c.Profile.Cores {
+		return fmt.Errorf("server: %d core speeds for %d cores",
+			len(c.CoreSpeeds), c.Profile.Cores)
+	}
+	for i, s := range c.CoreSpeeds {
+		if s <= 0 {
+			return fmt.Errorf("server: core %d speed %g must be positive", i, s)
+		}
+	}
+	if c.DelayTimerEnabled && c.DelayTimer < 0 {
+		return fmt.Errorf("server: negative delay timer %v", c.DelayTimer)
+	}
+	if c.SleepState != power.S3 && c.SleepState != power.S5 && c.SleepState != power.S0 {
+		return fmt.Errorf("server: invalid sleep state %v", c.SleepState)
+	}
+	return nil
+}

@@ -1,0 +1,205 @@
+package server
+
+import (
+	"holdcsim/internal/engine"
+	"holdcsim/internal/job"
+	"holdcsim/internal/power"
+	"holdcsim/internal/simtime"
+)
+
+// Core is one processing unit: it serves one task at a time (Sec. III).
+// Its performance is set by its speed ratio (heterogeneous parts) and the
+// active P-state (DVFS); its idle draw follows the C-state governor.
+type Core struct {
+	id  int
+	srv *Server
+
+	speed     float64
+	pstateIdx int
+
+	cstate    power.CState
+	busy      bool
+	waking    bool
+	wakeTrans power.Transition
+	reserved  *job.Task // task waiting for this core's wake to finish
+
+	task      *job.Task
+	finishEv  *engine.Event
+	idleTimer *engine.Timer
+	target    power.CState // next C-state the idle timer promotes into
+	idleStart simtime.Time // when the current idle period began
+
+	queue []*job.Task // per-core queue (QueuePerCore mode only)
+
+	completed int64
+}
+
+// ID reports the core's index within its server.
+func (c *Core) ID() int { return c.id }
+
+// Speed reports the core's heterogeneous speed ratio.
+func (c *Core) Speed() float64 { return c.speed }
+
+// CState reports the core's current C-state.
+func (c *Core) CState() power.CState { return c.cstate }
+
+// Busy reports whether a task is executing.
+func (c *Core) Busy() bool { return c.busy }
+
+// Completed reports the number of tasks this core has finished.
+func (c *Core) Completed() int64 { return c.completed }
+
+// PState reports the core's active P-state.
+func (c *Core) PState() power.PState { return c.srv.prof.PStates[c.pstateIdx] }
+
+// effectiveSpeed is the product of the heterogeneous ratio and DVFS.
+func (c *Core) effectiveSpeed() float64 { return c.speed * c.PState().Speed }
+
+// available reports whether the core can accept a task right now.
+func (c *Core) available() bool { return !c.busy && !c.waking && c.reserved == nil }
+
+// assign hands the core a task. The core must be available. If the core
+// (or its package) is in a sleep state, the task is reserved while the
+// wake transition runs.
+func (c *Core) assign(t *job.Task) {
+	if !c.available() {
+		panic("server: assign to unavailable core")
+	}
+	c.stopIdleTimer()
+	if c.cstate == power.C0 {
+		c.run(t)
+		return
+	}
+	// Wake transition: core (plus its socket, if parked) must power up.
+	trans := c.wakeTransition()
+	c.waking = true
+	c.wakeTrans = trans
+	c.reserved = t
+	if sk := c.srv.socketOf(c.id); c.srv.sockets[sk] != power.PC0 {
+		// The package exits PC6/PC2 as soon as any of its cores wakes.
+		c.srv.setSocketState(sk, power.PC0)
+	}
+	c.srv.recompute()
+	c.srv.eng.After(trans.Latency, func() {
+		c.waking = false
+		c.cstate = power.C0
+		task := c.reserved
+		c.reserved = nil
+		c.run(task)
+	})
+}
+
+// wakeTransition reports the cost of leaving the current C-state,
+// including the package exit when the package is parked.
+func (c *Core) wakeTransition() power.Transition {
+	prof := c.srv.prof
+	var t power.Transition
+	switch c.cstate {
+	case power.C1:
+		t = prof.WakeC1
+	case power.C3:
+		t = prof.WakeC3
+	case power.C6:
+		t = prof.WakeC6
+	default:
+		return power.Transition{}
+	}
+	if c.srv.sockets[c.srv.socketOf(c.id)] == power.PC6 {
+		t.Latency += prof.WakePC6.Latency
+		if prof.WakePC6.Watts > t.Watts {
+			t.Watts = prof.WakePC6.Watts
+		}
+	}
+	return t
+}
+
+// run starts executing t; the core must be in C0.
+func (c *Core) run(t *job.Task) {
+	now := c.srv.eng.Now()
+	c.busy = true
+	c.task = t
+	t.State = job.TaskRunning
+	t.StartAt = now
+	c.srv.busyCores++
+	c.srv.recompute()
+	dur := t.ServiceTime(c.effectiveSpeed())
+	c.finishEv = c.srv.eng.After(dur, func() { c.finish() })
+}
+
+// finish completes the running task and asks the server for more work.
+func (c *Core) finish() {
+	t := c.task
+	c.busy = false
+	c.task = nil
+	c.finishEv = nil
+	c.completed++
+	c.srv.busyCores--
+	c.srv.coreFinished(c, t)
+}
+
+// becomeIdle engages the C-state governor after the core runs out of
+// work.
+func (c *Core) becomeIdle() {
+	c.cstate = power.C0
+	c.idleStart = c.srv.eng.Now()
+	c.srv.recompute()
+	c.armIdleStep()
+}
+
+// armIdleStep schedules the next enabled C-state promotion. Thresholds
+// are absolute from the start of the idle period, so disabling an
+// intermediate state (e.g. a C0/C6-only validation run) skips straight
+// to the next enabled one.
+func (c *Core) armIdleStep() {
+	cfg := &c.srv.cfg
+	elapsed := c.srv.eng.Now() - c.idleStart
+	steps := []struct {
+		state power.CState
+		at    simtime.Time
+	}{
+		{power.C1, cfg.IdleToC1},
+		{power.C3, cfg.IdleToC3},
+		{power.C6, cfg.IdleToC6},
+	}
+	for _, s := range steps {
+		if s.at < 0 || s.state <= c.cstate {
+			continue
+		}
+		wait := s.at - elapsed
+		if wait < 0 {
+			wait = 0
+		}
+		if c.idleTimer == nil {
+			c.idleTimer = engine.NewTimer(c.srv.eng, func() { c.idleStep() })
+		}
+		c.target = s.state
+		c.idleTimer.Reset(wait)
+		return
+	}
+}
+
+// idleStep promotes the core into the pending deeper C-state.
+func (c *Core) idleStep() {
+	if c.busy || c.waking {
+		return // stale timer; a task grabbed the core first
+	}
+	c.cstate = c.target
+	c.srv.recompute()
+	if c.cstate == power.C6 {
+		c.srv.maybePkgC6()
+	}
+	c.armIdleStep()
+}
+
+func (c *Core) stopIdleTimer() {
+	if c.idleTimer != nil {
+		c.idleTimer.Stop()
+	}
+}
+
+// park forces the core into C6 without timers (used when the whole
+// server enters a system sleep state).
+func (c *Core) park() {
+	c.stopIdleTimer()
+	c.cstate = power.C6
+}

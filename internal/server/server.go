@@ -1,0 +1,605 @@
+package server
+
+import (
+	"fmt"
+
+	"holdcsim/internal/engine"
+	"holdcsim/internal/job"
+	"holdcsim/internal/power"
+	"holdcsim/internal/simtime"
+	"holdcsim/internal/stats"
+)
+
+// Residency state labels, matching the paper's Fig. 8 legend.
+const (
+	StateActive   = "Active"
+	StateWakeUp   = "Wake-up"
+	StateIdle     = "Idle"
+	StatePkgC6    = "PkgC6"
+	StateSysSleep = "SysSleep"
+	StateOff      = "Off"
+)
+
+// Server models one machine: a multi-core processor package, DRAM and
+// platform components, a local task queue, a local scheduler, and a
+// hierarchical power controller. All state changes run on the simulation
+// engine's virtual clock.
+type Server struct {
+	id   int
+	eng  *engine.Engine
+	cfg  Config
+	prof *power.ServerProfile
+
+	cores     []*Core
+	queue     []*job.Task // unified local queue
+	busyCores int
+
+	sstate         power.SState
+	sockets        []power.PkgCState // per-socket package C-state
+	waking         bool              // system-level S3/S5 -> S0 transition in flight
+	entering       bool              // system suspend transition in flight
+	wakeAfterEntry bool              // a wake was requested mid-suspend
+
+	delayTimer *engine.Timer
+
+	onTaskDone []func(*Server, *job.Task)
+
+	cpuMeter  *stats.EnergyMeter
+	dramMeter *stats.EnergyMeter
+	platMeter *stats.EnergyMeter
+	residency *stats.Residency
+
+	completedTasks int64
+	wakeCount      int64 // system-level wakes, for diagnostics
+
+	// onBusyChange, when set, observes busy-core count changes (the
+	// DVFS governor's utilization signal).
+	onBusyChange func(now simtime.Time, busy int)
+}
+
+// New constructs a server bound to the engine. The server starts in S0
+// with all cores idle (governor engaged).
+func New(id int, eng *engine.Engine, cfg Config) (*Server, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.SleepState == power.S0 {
+		cfg.SleepState = power.S3
+	}
+	s := &Server{
+		id:        id,
+		eng:       eng,
+		cfg:       cfg,
+		prof:      cfg.Profile,
+		sstate:    power.S0,
+		sockets:   make([]power.PkgCState, cfg.Profile.SocketCount()),
+		cpuMeter:  stats.NewEnergyMeter(fmt.Sprintf("server%d.cpu", id)),
+		dramMeter: stats.NewEnergyMeter(fmt.Sprintf("server%d.dram", id)),
+		platMeter: stats.NewEnergyMeter(fmt.Sprintf("server%d.platform", id)),
+		residency: stats.NewResidency(fmt.Sprintf("server%d", id)),
+	}
+	s.cores = make([]*Core, s.prof.Cores)
+	for i := range s.cores {
+		speed := 1.0
+		if cfg.CoreSpeeds != nil {
+			speed = cfg.CoreSpeeds[i]
+		}
+		s.cores[i] = &Core{id: i, srv: s, speed: speed}
+	}
+	s.delayTimer = engine.NewTimer(eng, func() { s.enterSleep() })
+	s.recompute()
+	for _, c := range s.cores {
+		c.becomeIdle()
+	}
+	s.checkServerIdle()
+	return s, nil
+}
+
+// ID reports the server's identifier.
+func (s *Server) ID() int { return s.id }
+
+// Cores reports the number of cores.
+func (s *Server) Cores() int { return len(s.cores) }
+
+// Core returns core i (read-only inspection).
+func (s *Server) Core(i int) *Core { return s.cores[i] }
+
+// Kinds reports the task kinds this server is configured to perform
+// (empty = any).
+func (s *Server) Kinds() []string { return s.cfg.Kinds }
+
+// OnTaskDone subscribes a completion callback invoked when any task
+// finishes on this server. The scheduler registers first (DAG and job
+// bookkeeping); additional subscribers (traffic hooks, probes) run after
+// it in registration order.
+func (s *Server) OnTaskDone(fn func(*Server, *job.Task)) {
+	s.onTaskDone = append(s.onTaskDone, fn)
+}
+
+// SystemState reports the ACPI system state.
+func (s *Server) SystemState() power.SState { return s.sstate }
+
+// PkgState reports the shallowest package C-state across sockets (PC6
+// only when every socket is parked).
+func (s *Server) PkgState() power.PkgCState {
+	min := s.sockets[0]
+	for _, st := range s.sockets[1:] {
+		if st < min {
+			min = st
+		}
+	}
+	return min
+}
+
+// SocketStates reports each socket's package C-state.
+func (s *Server) SocketStates() []power.PkgCState {
+	out := make([]power.PkgCState, len(s.sockets))
+	copy(out, s.sockets)
+	return out
+}
+
+// socketOf reports which socket a core belongs to.
+func (s *Server) socketOf(coreID int) int {
+	return coreID / s.prof.CoresPerSocket()
+}
+
+// Waking reports whether a system-level wake transition is in flight.
+func (s *Server) Waking() bool { return s.waking }
+
+// EnteringSleep reports whether a system suspend transition is in
+// flight.
+func (s *Server) EnteringSleep() bool { return s.entering }
+
+// Asleep reports whether the server is in (or suspending into) a system
+// sleep state and not already waking.
+func (s *Server) Asleep() bool {
+	return (s.sstate != power.S0 || s.entering) && !s.waking
+}
+
+// BusyCores reports the number of cores currently executing tasks.
+func (s *Server) BusyCores() int { return s.busyCores }
+
+// QueueLen reports tasks buffered locally (all queues plus wake
+// reservations, excluding running tasks).
+func (s *Server) QueueLen() int {
+	n := len(s.queue)
+	for _, c := range s.cores {
+		n += len(c.queue)
+		if c.reserved != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// PendingTasks reports the server's total in-flight load: queued,
+// reserved and running tasks. Global schedulers use this as the load
+// signal (Sec. IV-C's "pending jobs per server").
+func (s *Server) PendingTasks() int { return s.QueueLen() + s.busyCores }
+
+// CompletedTasks reports the number of tasks finished on this server.
+func (s *Server) CompletedTasks() int64 { return s.completedTasks }
+
+// WakeCount reports how many system-level wake transitions occurred.
+func (s *Server) WakeCount() int64 { return s.wakeCount }
+
+// Submit hands a task to the server's local scheduler. If the server is
+// asleep (or suspending) it begins waking as soon as possible; the task
+// waits in the local queue.
+func (s *Server) Submit(t *job.Task) {
+	t.State = job.TaskQueued
+	t.ServerID = s.id
+	s.delayTimer.Stop()
+	if s.entering {
+		// Suspend is committed; the wake starts when it completes.
+		s.enqueue(t)
+		s.wakeAfterEntry = true
+		return
+	}
+	if s.sstate != power.S0 {
+		s.enqueue(t)
+		s.beginWake()
+		return
+	}
+	if s.waking {
+		s.enqueue(t)
+		return
+	}
+	s.dispatch(t)
+}
+
+// dispatch places a task on a core or in the appropriate queue (server
+// must be awake).
+func (s *Server) dispatch(t *job.Task) {
+	switch s.cfg.QueueMode {
+	case QueuePerCore:
+		// Shortest-queue assignment at arrival; capability-aware
+		// tie-break prefers faster cores.
+		best := -1
+		bestLoad := 0
+		for _, c := range s.cores {
+			load := len(c.queue)
+			if c.busy || c.waking || c.reserved != nil {
+				load++
+			}
+			if best == -1 || load < bestLoad ||
+				(load == bestLoad && c.speed > s.cores[best].speed) {
+				best = c.id
+				bestLoad = load
+			}
+		}
+		c := s.cores[best]
+		if c.available() {
+			c.assign(t)
+		} else {
+			c.queue = append(c.queue, t)
+		}
+	default: // QueueUnified
+		if c := s.pickIdleCore(); c != nil {
+			c.assign(t)
+		} else {
+			s.queue = append(s.queue, t)
+		}
+	}
+}
+
+// pickIdleCore selects the best available core: fastest first (the local
+// scheduler "can also consider the capability of the core", Sec. III-E),
+// then shallowest C-state to minimize wake cost, then lowest id.
+func (s *Server) pickIdleCore() *Core {
+	var best *Core
+	for _, c := range s.cores {
+		if !c.available() {
+			continue
+		}
+		if best == nil {
+			best = c
+			continue
+		}
+		if c.speed != best.speed {
+			if c.speed > best.speed {
+				best = c
+			}
+			continue
+		}
+		if c.cstate != best.cstate {
+			if c.cstate < best.cstate {
+				best = c
+			}
+			continue
+		}
+	}
+	return best
+}
+
+// enqueue buffers a task while the server is asleep or waking.
+func (s *Server) enqueue(t *job.Task) {
+	s.queue = append(s.queue, t)
+}
+
+// coreFinished is called by a core when its task completes.
+func (s *Server) coreFinished(c *Core, t *job.Task) {
+	s.completedTasks++
+	// Pull next work for this core before recomputing power so the
+	// busy->busy path does not bounce through an idle sample.
+	if next := s.nextFor(c); next != nil {
+		c.run(next)
+	} else {
+		c.becomeIdle()
+		s.checkServerIdle()
+	}
+	for _, fn := range s.onTaskDone {
+		fn(s, t)
+	}
+}
+
+// nextFor pops the next task for core c per the queue mode.
+func (s *Server) nextFor(c *Core) *job.Task {
+	if s.cfg.QueueMode == QueuePerCore {
+		if len(c.queue) == 0 {
+			return nil
+		}
+		t := c.queue[0]
+		c.queue = c.queue[1:]
+		return t
+	}
+	if len(s.queue) == 0 {
+		return nil
+	}
+	t := s.queue[0]
+	s.queue = s.queue[1:]
+	return t
+}
+
+// checkServerIdle arms the delay timer when the server has gone
+// completely idle (Sec. IV-B).
+func (s *Server) checkServerIdle() {
+	if !s.cfg.DelayTimerEnabled {
+		return
+	}
+	if s.sstate != power.S0 || s.waking || s.entering {
+		return
+	}
+	if s.busyCores > 0 || s.QueueLen() > 0 {
+		return
+	}
+	s.delayTimer.Reset(s.cfg.DelayTimer)
+}
+
+// maybePkgC6 parks any socket whose cores have all reached C6.
+func (s *Server) maybePkgC6() {
+	if !s.cfg.PkgC6Enabled || s.sstate != power.S0 || s.entering {
+		return
+	}
+	perSocket := s.prof.CoresPerSocket()
+	for sk := range s.sockets {
+		if s.sockets[sk] == power.PC6 {
+			continue
+		}
+		parked := true
+		for _, c := range s.cores[sk*perSocket : (sk+1)*perSocket] {
+			if c.cstate != power.C6 || c.busy || c.waking {
+				parked = false
+				break
+			}
+		}
+		if parked {
+			s.setSocketState(sk, power.PC6)
+		}
+	}
+}
+
+// setSocketState transitions one socket's package C-state.
+func (s *Server) setSocketState(sk int, ps power.PkgCState) {
+	if s.sockets[sk] == ps {
+		return
+	}
+	s.sockets[sk] = ps
+	s.recompute()
+}
+
+// enterSleep starts the suspend transition into the configured sleep
+// state. The server must be idle; stale timer fires are ignored
+// otherwise. The suspend is committed: a task arriving mid-entry waits
+// until entry completes and the wake path runs.
+func (s *Server) enterSleep() {
+	if s.sstate != power.S0 || s.waking || s.entering ||
+		s.busyCores > 0 || s.QueueLen() > 0 {
+		return
+	}
+	s.entering = true
+	for _, c := range s.cores {
+		c.park()
+	}
+	for sk := range s.sockets {
+		s.sockets[sk] = power.PC6
+	}
+	s.recompute()
+	s.eng.After(s.prof.SleepEntry.Latency, func() {
+		s.entering = false
+		s.sstate = s.cfg.SleepState
+		s.recompute()
+		if s.wakeAfterEntry || s.QueueLen() > 0 {
+			s.wakeAfterEntry = false
+			s.beginWake()
+		}
+	})
+}
+
+// ForceSleep immediately starts the suspend transition if the server is
+// idle, bypassing the delay timer (used by pool-based policies,
+// Sec. IV-C). It reports whether the transition was initiated.
+func (s *Server) ForceSleep() bool {
+	if s.sstate != power.S0 || s.waking || s.entering ||
+		s.busyCores > 0 || s.QueueLen() > 0 {
+		return false
+	}
+	s.delayTimer.Stop()
+	s.enterSleep()
+	return true
+}
+
+// WakeUp proactively starts the system wake transition (used by adaptive
+// policies to pre-warm a server before dispatching to it). It reports
+// whether a wake was initiated, already in flight, or scheduled to
+// follow an in-flight suspend.
+func (s *Server) WakeUp() bool {
+	if s.entering {
+		s.wakeAfterEntry = true
+		return true
+	}
+	if s.sstate == power.S0 {
+		return false
+	}
+	s.beginWake()
+	return true
+}
+
+// beginWake starts the S3/S5 -> S0 transition if not already in flight.
+func (s *Server) beginWake() {
+	if s.waking || s.sstate == power.S0 {
+		return
+	}
+	s.waking = true
+	s.wakeCount++
+	trans := s.prof.WakeS3
+	if s.sstate == power.S5 {
+		trans = s.prof.WakeS5
+	}
+	s.recompute()
+	s.eng.After(trans.Latency, func() { s.finishWake() })
+}
+
+// finishWake completes the system wake: package powers up, queued work
+// is drained onto cores (each paying its core-level C6 exit).
+func (s *Server) finishWake() {
+	s.waking = false
+	s.sstate = power.S0
+	for sk := range s.sockets {
+		s.sockets[sk] = power.PC0
+	}
+	s.recompute()
+	// Drain the backlog onto available cores.
+	pending := s.queue
+	s.queue = nil
+	for _, t := range pending {
+		s.dispatch(t)
+	}
+	for _, c := range s.cores {
+		if c.available() && c.cstate != power.C0 {
+			// No work for this core: restart its idle accounting from
+			// the parked state so it can re-enter PkgC6 later.
+			c.armIdleStep()
+		}
+	}
+	s.checkServerIdle()
+	s.maybePkgC6()
+}
+
+// SetDelayTimer reconfigures the delay-timer policy at runtime (the dual
+// delay-timer strategy of Sec. IV-B re-partitions τ values across the
+// farm). Passing enabled=false cancels any armed timer.
+func (s *Server) SetDelayTimer(enabled bool, d simtime.Time) {
+	s.cfg.DelayTimerEnabled = enabled
+	s.cfg.DelayTimer = d
+	if !enabled {
+		s.delayTimer.Stop()
+		return
+	}
+	s.checkServerIdle()
+}
+
+// DelayTimerConfig reports the current delay-timer setting.
+func (s *Server) DelayTimerConfig() (enabled bool, d simtime.Time) {
+	return s.cfg.DelayTimerEnabled, s.cfg.DelayTimer
+}
+
+// SetPState switches every core to P-state index i (DVFS). Tasks already
+// running keep their start-time service estimate (the paper models DVFS
+// per dispatch decision, not mid-task re-rating).
+func (s *Server) SetPState(i int) error {
+	if i < 0 || i >= len(s.prof.PStates) {
+		return fmt.Errorf("server %d: P-state %d out of range", s.id, i)
+	}
+	for _, c := range s.cores {
+		c.pstateIdx = i
+	}
+	s.recompute()
+	return nil
+}
+
+// SetCorePState switches one core's P-state (Table I's per-core DVFS).
+func (s *Server) SetCorePState(core, i int) error {
+	if core < 0 || core >= len(s.cores) {
+		return fmt.Errorf("server %d: core %d out of range", s.id, core)
+	}
+	if i < 0 || i >= len(s.prof.PStates) {
+		return fmt.Errorf("server %d: P-state %d out of range", s.id, i)
+	}
+	s.cores[core].pstateIdx = i
+	s.recompute()
+	return nil
+}
+
+// GlobalState reports the server's ACPI global state (G0 working, G1
+// sleeping, G2 soft-off).
+func (s *Server) GlobalState() power.GState { return power.GlobalState(s.sstate) }
+
+// recompute re-derives component power draws and the residency label
+// after any state change.
+func (s *Server) recompute() {
+	now := s.eng.Now()
+	var cpu, dram, plat float64
+	var label string
+	switch {
+	case s.waking, s.entering:
+		plat = s.prof.PlatformS0
+		dram = s.prof.DRAMActive
+		trans := s.prof.WakeS3
+		if s.entering {
+			trans = s.prof.SleepEntry
+		} else if s.sstate == power.S5 {
+			trans = s.prof.WakeS5
+		}
+		cpu = trans.Watts - plat - dram
+		if min := s.prof.PkgPC0; cpu < min {
+			cpu = min
+		}
+		label = StateWakeUp
+	case s.sstate == power.S3:
+		dram = s.prof.DRAMSelfRefresh
+		plat = s.prof.PlatformS3
+		label = StateSysSleep
+	case s.sstate == power.S5:
+		plat = s.prof.PlatformS5
+		label = StateOff
+	default: // S0
+		anyCoreWaking := false
+		for _, c := range s.cores {
+			if c.waking {
+				cpu += c.wakeTrans.Watts
+				anyCoreWaking = true
+				continue
+			}
+			cpu += s.prof.CoreWatts(c.cstate, c.busy, c.PState())
+		}
+		for _, st := range s.sockets {
+			cpu += s.prof.PkgWatts(st)
+		}
+		if s.busyCores > 0 {
+			dram = s.prof.DRAMActive
+		} else {
+			dram = s.prof.DRAMIdle
+		}
+		plat = s.prof.PlatformS0
+		allParked := true
+		for _, st := range s.sockets {
+			if st != power.PC6 {
+				allParked = false
+				break
+			}
+		}
+		switch {
+		case s.busyCores > 0:
+			label = StateActive
+		case anyCoreWaking:
+			label = StateWakeUp
+		case allParked:
+			label = StatePkgC6
+		default:
+			label = StateIdle
+		}
+	}
+	s.cpuMeter.SetPower(now, cpu)
+	s.dramMeter.SetPower(now, dram)
+	s.platMeter.SetPower(now, plat)
+	s.residency.SetState(now, label)
+	if s.onBusyChange != nil {
+		s.onBusyChange(now, s.busyCores)
+	}
+}
+
+// Power reports the server's current total draw in watts.
+func (s *Server) Power() float64 {
+	return s.cpuMeter.Power() + s.dramMeter.Power() + s.platMeter.Power()
+}
+
+// CPUPower reports the current processor (cores + package) draw.
+func (s *Server) CPUPower() float64 { return s.cpuMeter.Power() }
+
+// CPUEnergyTo reports processor energy in joules up to t.
+func (s *Server) CPUEnergyTo(t simtime.Time) float64 { return s.cpuMeter.EnergyTo(t) }
+
+// DRAMEnergyTo reports memory energy in joules up to t.
+func (s *Server) DRAMEnergyTo(t simtime.Time) float64 { return s.dramMeter.EnergyTo(t) }
+
+// PlatformEnergyTo reports platform energy in joules up to t.
+func (s *Server) PlatformEnergyTo(t simtime.Time) float64 { return s.platMeter.EnergyTo(t) }
+
+// EnergyTo reports total server energy in joules up to t.
+func (s *Server) EnergyTo(t simtime.Time) float64 {
+	return s.CPUEnergyTo(t) + s.DRAMEnergyTo(t) + s.PlatformEnergyTo(t)
+}
+
+// Residency exposes the state-residency tracker (Fig. 8).
+func (s *Server) Residency() *stats.Residency { return s.residency }

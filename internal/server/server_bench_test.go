@@ -1,0 +1,44 @@
+package server
+
+import (
+	"testing"
+
+	"holdcsim/internal/engine"
+	"holdcsim/internal/job"
+	"holdcsim/internal/power"
+	"holdcsim/internal/simtime"
+)
+
+func BenchmarkSubmitComplete(b *testing.B) {
+	eng := engine.New()
+	s, err := New(0, eng, DefaultConfig(power.XeonE5_2680()))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j := job.Single(job.ID(i), eng.Now(), simtime.Millisecond)
+		s.Submit(j.Tasks[0])
+		eng.Run()
+	}
+}
+
+func BenchmarkSleepWakeCycle(b *testing.B) {
+	eng := engine.New()
+	cfg := DefaultConfig(power.FourCoreServer())
+	cfg.DelayTimerEnabled = true
+	cfg.DelayTimer = simtime.Millisecond
+	s, err := New(0, eng, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Each iteration: idle -> suspend -> arrival mid/after entry ->
+		// wake -> run -> idle.
+		at := eng.Now() + 5*simtime.Second
+		j := job.Single(job.ID(i), at, simtime.Millisecond)
+		eng.Schedule(at, func() { s.Submit(j.Tasks[0]) })
+		eng.Run()
+	}
+}

@@ -1,0 +1,145 @@
+package server
+
+import (
+	"math"
+	"testing"
+
+	"holdcsim/internal/engine"
+	"holdcsim/internal/job"
+	"holdcsim/internal/power"
+	"holdcsim/internal/simtime"
+)
+
+func newDualSocketServer(t *testing.T) (*engine.Engine, *Server) {
+	t.Helper()
+	eng := engine.New()
+	cfg := DefaultConfig(power.DualSocketXeon())
+	s, err := New(0, eng, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng, s
+}
+
+func TestDualSocketProfile(t *testing.T) {
+	p := power.DualSocketXeon()
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if p.SocketCount() != 2 || p.CoresPerSocket() != 10 || p.Cores != 20 {
+		t.Errorf("sockets=%d cps=%d cores=%d", p.SocketCount(), p.CoresPerSocket(), p.Cores)
+	}
+	// Idle/max include both packages.
+	single := power.XeonE5_2680()
+	if p.IdleWatts() <= single.IdleWatts() {
+		t.Error("dual socket idle should exceed single socket idle")
+	}
+	wantIdle := single.IdleWatts() + 10*single.CoreIdle + single.PkgPC0
+	if math.Abs(p.IdleWatts()-wantIdle) > 1e-9 {
+		t.Errorf("IdleWatts = %v, want %v", p.IdleWatts(), wantIdle)
+	}
+}
+
+func TestSocketsParkIndependently(t *testing.T) {
+	eng, s := newDualSocketServer(t)
+	// Keep one core of socket 0 busy; socket 1 is fully idle.
+	var park func()
+	park = func() {
+		j := job.Single(job.ID(eng.Now()), eng.Now(), 10*simtime.Millisecond)
+		// Pin to socket 0 by saturating: the local scheduler picks the
+		// shallowest core, which stays within socket 0 while it hosts
+		// the only recently-used cores.
+		s.Submit(j.Tasks[0])
+		if eng.Now() < 100*simtime.Millisecond {
+			eng.After(10*simtime.Millisecond, park)
+		}
+	}
+	eng.Schedule(0, park)
+	eng.RunUntil(95 * simtime.Millisecond)
+	states := s.SocketStates()
+	if states[1] != power.PC6 {
+		t.Errorf("idle socket 1 = %v, want PC6", states[1])
+	}
+	if states[0] != power.PC0 {
+		t.Errorf("busy socket 0 = %v, want PC0", states[0])
+	}
+	// Server-level PkgState is the shallowest.
+	if s.PkgState() != power.PC0 {
+		t.Errorf("PkgState = %v, want PC0", s.PkgState())
+	}
+	eng.Run()
+	// Fully idle: both sockets park, label becomes PkgC6.
+	eng2 := engine.New()
+	s2, err := New(1, eng2, DefaultConfig(power.DualSocketXeon()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng2.RunUntil(simtime.Second)
+	if s2.PkgState() != power.PC6 {
+		t.Errorf("fully idle dual socket PkgState = %v, want PC6", s2.PkgState())
+	}
+	if got := s2.Residency().State(); got != StatePkgC6 {
+		t.Errorf("residency label = %q, want PkgC6", got)
+	}
+}
+
+func TestDualSocketPowerAccounting(t *testing.T) {
+	prof := power.DualSocketXeon()
+	eng, s := newDualSocketServer(t)
+	eng.RunUntil(simtime.Second) // both sockets parked
+	// 20 cores in C6 + 2 packages in PC6 + DRAM idle + platform.
+	want := 20*prof.CoreC6 + 2*prof.PkgPC6 + prof.DRAMIdle + prof.PlatformS0
+	if got := s.Power(); math.Abs(got-want) > 1e-9 {
+		t.Errorf("parked power = %v, want %v", got, want)
+	}
+}
+
+func TestDVFSGovernorScalesWithLoad(t *testing.T) {
+	eng, s := newTestServer(t, nil)
+	g := NewDVFSGovernor(s)
+	g.Start()
+
+	// Phase 1: saturate all 10 cores for 200ms — governor must stay at
+	// (or return to) P0.
+	for i := 0; i < 10; i++ {
+		j := job.Single(job.ID(i), 0, 200*simtime.Millisecond)
+		eng.Schedule(0, func() { s.Submit(j.Tasks[0]) })
+	}
+	eng.RunUntil(200 * simtime.Millisecond)
+	if g.PStateIndex() != 0 {
+		t.Errorf("under saturation P-state index = %d, want 0", g.PStateIndex())
+	}
+	// Phase 2: idle for 500ms — governor steps down to the deepest point.
+	eng.RunUntil(700 * simtime.Millisecond)
+	if g.PStateIndex() != len(power.XeonE5_2680().PStates)-1 {
+		t.Errorf("idle P-state index = %d, want deepest", g.PStateIndex())
+	}
+	if g.Steps == 0 {
+		t.Error("no P-state steps recorded")
+	}
+	// Phase 3: saturate again — governor climbs back to P0.
+	base := eng.Now()
+	for i := 0; i < 10; i++ {
+		j := job.Single(job.ID(100+i), base, 300*simtime.Millisecond)
+		eng.Schedule(base, func() { s.Submit(j.Tasks[0]) })
+	}
+	eng.RunUntil(base + 250*simtime.Millisecond)
+	if g.PStateIndex() != 0 {
+		t.Errorf("re-saturated P-state index = %d, want 0", g.PStateIndex())
+	}
+	eng.RunUntil(base + 10*simtime.Second)
+}
+
+func TestDVFSGovernorDoubleStartSafe(t *testing.T) {
+	eng, s := newTestServer(t, nil)
+	g := NewDVFSGovernor(s)
+	g.Start()
+	g.Start() // must not double-schedule
+	eng.RunUntil(100 * simtime.Millisecond)
+	// One governor tick chain: at 10ms intervals over 100ms, ~10 ticks;
+	// a double chain would step twice as often. Steps bounded by the
+	// ladder depth regardless; just ensure no panic and sane state.
+	if g.PStateIndex() < 0 || g.PStateIndex() >= len(power.XeonE5_2680().PStates) {
+		t.Errorf("P-state index out of range: %d", g.PStateIndex())
+	}
+}

@@ -1,0 +1,80 @@
+package stats
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Histogram bins scalar samples into fixed-width buckets over [Lo, Hi);
+// samples outside the range land in underflow/overflow counters. It backs
+// textual distribution summaries in the experiment reports.
+type Histogram struct {
+	name      string
+	lo, hi    float64
+	bins      []int64
+	underflow int64
+	overflow  int64
+	total     int64
+}
+
+// NewHistogram returns a histogram with n bins over [lo, hi). n must be
+// positive and hi > lo.
+func NewHistogram(name string, lo, hi float64, n int) *Histogram {
+	if n <= 0 || hi <= lo {
+		panic("stats: invalid histogram parameters for " + name)
+	}
+	return &Histogram{name: name, lo: lo, hi: hi, bins: make([]int64, n)}
+}
+
+// Add records a sample.
+func (h *Histogram) Add(x float64) {
+	h.total++
+	switch {
+	case x < h.lo:
+		h.underflow++
+	case x >= h.hi:
+		h.overflow++
+	default:
+		idx := int((x - h.lo) / (h.hi - h.lo) * float64(len(h.bins)))
+		if idx >= len(h.bins) { // guard FP edge at x just below hi
+			idx = len(h.bins) - 1
+		}
+		h.bins[idx]++
+	}
+}
+
+// Count reports the total number of samples, including out-of-range ones.
+func (h *Histogram) Count() int64 { return h.total }
+
+// Bin reports the count in bin i.
+func (h *Histogram) Bin(i int) int64 { return h.bins[i] }
+
+// NumBins reports the number of bins.
+func (h *Histogram) NumBins() int { return len(h.bins) }
+
+// BinBounds reports the [lo, hi) range of bin i.
+func (h *Histogram) BinBounds(i int) (lo, hi float64) {
+	w := (h.hi - h.lo) / float64(len(h.bins))
+	return h.lo + float64(i)*w, h.lo + float64(i+1)*w
+}
+
+// OutOfRange reports the underflow and overflow counts.
+func (h *Histogram) OutOfRange() (under, over int64) { return h.underflow, h.overflow }
+
+// String renders a compact ASCII histogram.
+func (h *Histogram) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (n=%d)\n", h.name, h.total)
+	maxCount := int64(1)
+	for _, c := range h.bins {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	for i, c := range h.bins {
+		lo, hi := h.BinBounds(i)
+		bar := strings.Repeat("#", int(40*c/maxCount))
+		fmt.Fprintf(&b, "[%10.4g, %10.4g) %8d %s\n", lo, hi, c, bar)
+	}
+	return b.String()
+}

@@ -1,0 +1,93 @@
+package stats
+
+import (
+	"sort"
+
+	"holdcsim/internal/simtime"
+)
+
+// Residency tracks how long an entity spends in each named state — the
+// basis of the paper's Fig. 8 (Active / Wake-up / Idle / PkgC6 / SysSleep
+// stacked residency bars) and of switch port/line-card state accounting.
+type Residency struct {
+	name    string
+	state   string
+	lastT   simtime.Time
+	t0      simtime.Time
+	dur     map[string]simtime.Time
+	started bool
+}
+
+// NewResidency returns an idle tracker; tracking starts at the first
+// SetState call.
+func NewResidency(name string) *Residency {
+	return &Residency{name: name, dur: make(map[string]simtime.Time)}
+}
+
+// SetState records a transition to state at time t. Re-entering the
+// current state is a no-op for accounting but allowed.
+func (r *Residency) SetState(t simtime.Time, state string) {
+	if !r.started {
+		r.started = true
+		r.t0 = t
+		r.lastT = t
+		r.state = state
+		return
+	}
+	if t < r.lastT {
+		panic("stats: Residency time went backwards in " + r.name)
+	}
+	r.dur[r.state] += t - r.lastT
+	r.lastT = t
+	r.state = state
+}
+
+// State reports the current state ("" before the first SetState).
+func (r *Residency) State() string { return r.state }
+
+// DurationTo reports total time spent in state up to t (including the
+// currently open interval).
+func (r *Residency) DurationTo(state string, t simtime.Time) simtime.Time {
+	d := r.dur[state]
+	if r.started && r.state == state && t > r.lastT {
+		d += t - r.lastT
+	}
+	return d
+}
+
+// FractionsTo reports, for each observed state, the fraction of total
+// tracked time spent in it, up to t.
+func (r *Residency) FractionsTo(t simtime.Time) map[string]float64 {
+	out := make(map[string]float64)
+	if !r.started {
+		return out
+	}
+	total := (t - r.t0).Seconds()
+	if total <= 0 {
+		return out
+	}
+	for s := range r.dur {
+		out[s] = r.DurationTo(s, t).Seconds() / total
+	}
+	if _, seen := out[r.state]; !seen {
+		out[r.state] = r.DurationTo(r.state, t).Seconds() / total
+	}
+	return out
+}
+
+// States reports all observed state names, sorted.
+func (r *Residency) States() []string {
+	set := make(map[string]bool, len(r.dur)+1)
+	for s := range r.dur {
+		set[s] = true
+	}
+	if r.started {
+		set[r.state] = true
+	}
+	out := make([]string, 0, len(set))
+	for s := range set {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,156 @@
+// Package stats implements the runtime-statistics substrate of HolDCSim:
+// sample tallies with percentiles and CDFs, time-weighted integrals,
+// per-state residency trackers, piecewise-constant energy meters, and
+// fixed-interval power samplers (the simulator-side equivalent of RAPL /
+// power-logger readings used in the paper's validation).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Tally accumulates scalar samples. It keeps running moments (Welford) for
+// mean/variance plus, by default, the raw samples so exact percentiles and
+// CDFs can be produced — job populations in the paper's experiments are at
+// most a few hundred thousand, so retention is cheap.
+type Tally struct {
+	name    string
+	n       int64
+	mean    float64
+	m2      float64
+	min     float64
+	max     float64
+	samples []float64
+	keep    bool
+}
+
+// NewTally returns an empty tally that retains samples for percentiles.
+func NewTally(name string) *Tally {
+	return &Tally{name: name, keep: true, min: math.Inf(1), max: math.Inf(-1)}
+}
+
+// NewMomentTally returns a tally that keeps only moments (no percentiles),
+// for memory-sensitive large-scale runs.
+func NewMomentTally(name string) *Tally {
+	return &Tally{name: name, keep: false, min: math.Inf(1), max: math.Inf(-1)}
+}
+
+// Name reports the tally's label.
+func (t *Tally) Name() string { return t.name }
+
+// Add records one sample.
+func (t *Tally) Add(x float64) {
+	t.n++
+	d := x - t.mean
+	t.mean += d / float64(t.n)
+	t.m2 += d * (x - t.mean)
+	if x < t.min {
+		t.min = x
+	}
+	if x > t.max {
+		t.max = x
+	}
+	if t.keep {
+		t.samples = append(t.samples, x)
+	}
+}
+
+// Count reports the number of samples recorded.
+func (t *Tally) Count() int64 { return t.n }
+
+// Mean reports the sample mean (0 when empty).
+func (t *Tally) Mean() float64 {
+	if t.n == 0 {
+		return 0
+	}
+	return t.mean
+}
+
+// Variance reports the unbiased sample variance.
+func (t *Tally) Variance() float64 {
+	if t.n < 2 {
+		return 0
+	}
+	return t.m2 / float64(t.n-1)
+}
+
+// StdDev reports the sample standard deviation.
+func (t *Tally) StdDev() float64 { return math.Sqrt(t.Variance()) }
+
+// Min reports the smallest sample (+Inf when empty).
+func (t *Tally) Min() float64 { return t.min }
+
+// Max reports the largest sample (-Inf when empty).
+func (t *Tally) Max() float64 { return t.max }
+
+// Sum reports the total of all samples.
+func (t *Tally) Sum() float64 { return t.mean * float64(t.n) }
+
+// Percentile reports the p-th percentile (p in [0,100]) using linear
+// interpolation between order statistics. It requires sample retention
+// and returns 0 when empty.
+func (t *Tally) Percentile(p float64) float64 {
+	if !t.keep {
+		panic("stats: Percentile on moment-only tally " + t.name)
+	}
+	if len(t.samples) == 0 {
+		return 0
+	}
+	s := t.sorted()
+	if p <= 0 {
+		return s[0]
+	}
+	if p >= 100 {
+		return s[len(s)-1]
+	}
+	rank := p / 100 * float64(len(s)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := rank - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// CDF returns (x, F(x)) pairs over at most points steps, suitable for
+// plotting job-latency CDFs (Fig. 11b).
+func (t *Tally) CDF(points int) []CDFPoint {
+	if !t.keep {
+		panic("stats: CDF on moment-only tally " + t.name)
+	}
+	s := t.sorted()
+	if len(s) == 0 {
+		return nil
+	}
+	if points < 2 {
+		points = 2
+	}
+	out := make([]CDFPoint, 0, points)
+	for i := 0; i < points; i++ {
+		idx := i * (len(s) - 1) / (points - 1)
+		out = append(out, CDFPoint{X: s[idx], F: float64(idx+1) / float64(len(s))})
+	}
+	return out
+}
+
+// String summarizes the tally.
+func (t *Tally) String() string {
+	return fmt.Sprintf("%s: n=%d mean=%.6g sd=%.6g min=%.6g max=%.6g",
+		t.name, t.n, t.Mean(), t.StdDev(), t.min, t.max)
+}
+
+func (t *Tally) sorted() []float64 {
+	if !sort.Float64sAreSorted(t.samples) {
+		sort.Float64s(t.samples)
+	}
+	return t.samples
+}
+
+// CDFPoint is a single point of an empirical CDF.
+type CDFPoint struct {
+	X float64 // sample value
+	F float64 // cumulative probability at X
+}

@@ -1,0 +1,98 @@
+package stats
+
+import (
+	"holdcsim/internal/simtime"
+)
+
+// TimeWeighted tracks a piecewise-constant signal over virtual time and
+// integrates it. It backs time-averaged queue lengths, active-server
+// counts (Fig. 4), and — via EnergyMeter — power-to-energy integration.
+type TimeWeighted struct {
+	name     string
+	value    float64
+	t0       simtime.Time // time of Start
+	lastT    simtime.Time // time of last observation
+	integral float64      // ∫ value dt in value·seconds, up to lastT
+	started  bool
+	min, max float64
+}
+
+// NewTimeWeighted returns an idle tracker; tracking begins at the first
+// Start or Set call.
+func NewTimeWeighted(name string) *TimeWeighted {
+	return &TimeWeighted{name: name}
+}
+
+// Started reports whether tracking has begun.
+func (w *TimeWeighted) Started() bool { return w.started }
+
+// Start begins tracking at time t with the given initial value.
+func (w *TimeWeighted) Start(t simtime.Time, initial float64) {
+	w.started = true
+	w.t0 = t
+	w.lastT = t
+	w.value = initial
+	w.integral = 0
+	w.min, w.max = initial, initial
+}
+
+// Set updates the signal to v at time t, accumulating the integral for the
+// elapsed interval at the previous value. t must not be before the last
+// observation. The first Set acts as Start.
+func (w *TimeWeighted) Set(t simtime.Time, v float64) {
+	if !w.started {
+		w.Start(t, v)
+		return
+	}
+	if t < w.lastT {
+		panic("stats: TimeWeighted.Set time went backwards in " + w.name)
+	}
+	w.integral += w.value * (t - w.lastT).Seconds()
+	w.lastT = t
+	w.value = v
+	if v < w.min {
+		w.min = v
+	}
+	if v > w.max {
+		w.max = v
+	}
+}
+
+// Adjust adds delta to the current value at time t (convenience for
+// counters such as "jobs in system").
+func (w *TimeWeighted) Adjust(t simtime.Time, delta float64) {
+	w.Set(t, w.value+delta)
+}
+
+// Value reports the current signal value.
+func (w *TimeWeighted) Value() float64 { return w.value }
+
+// IntegralTo reports ∫ value dt from Start to t, in value·seconds.
+// t must not precede the last observation.
+func (w *TimeWeighted) IntegralTo(t simtime.Time) float64 {
+	if !w.started {
+		return 0
+	}
+	if t < w.lastT {
+		panic("stats: TimeWeighted.IntegralTo before last observation in " + w.name)
+	}
+	return w.integral + w.value*(t-w.lastT).Seconds()
+}
+
+// MeanTo reports the time-averaged value from Start to t.
+func (w *TimeWeighted) MeanTo(t simtime.Time) float64 {
+	if !w.started {
+		return 0
+	}
+	dur := (t - w.t0).Seconds()
+	if dur <= 0 {
+		return w.value
+	}
+	return w.IntegralTo(t) / dur
+}
+
+// Min reports the smallest observed value.
+func (w *TimeWeighted) Min() float64 { return w.min }
+
+// Max reports the largest observed value.
+func (w *TimeWeighted) Max() float64 { return w.max }

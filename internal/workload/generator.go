@@ -1,0 +1,70 @@
+package workload
+
+import (
+	"holdcsim/internal/engine"
+	"holdcsim/internal/job"
+	"holdcsim/internal/rng"
+	"holdcsim/internal/simtime"
+)
+
+// Generator drives an arrival process on the virtual clock, expanding
+// each arrival through the factory and handing the job to the sink (the
+// global scheduler's front end, Fig. 1).
+type Generator struct {
+	eng     *engine.Engine
+	arrival *rng.Source
+	service *rng.Source
+	proc    ArrivalProcess
+	factory JobFactory
+	sink    func(*job.Job)
+
+	// MaxJobs stops generation after this many jobs (0 = unlimited).
+	MaxJobs int64
+	// Until stops generation at this virtual time (0 = unlimited).
+	Until simtime.Time
+
+	generated int64
+	nextID    job.ID
+}
+
+// NewGenerator builds a generator. The rng source is split into
+// independent arrival and service streams so changing one distribution
+// never perturbs the other's draws.
+func NewGenerator(eng *engine.Engine, r *rng.Source, proc ArrivalProcess,
+	factory JobFactory, sink func(*job.Job)) *Generator {
+	return &Generator{
+		eng:     eng,
+		arrival: r.Split("arrivals"),
+		service: r.Split("service"),
+		proc:    proc,
+		factory: factory,
+		sink:    sink,
+	}
+}
+
+// Start schedules the first arrival.
+func (g *Generator) Start() { g.scheduleNext() }
+
+// Generated reports how many jobs have been injected.
+func (g *Generator) Generated() int64 { return g.generated }
+
+func (g *Generator) scheduleNext() {
+	if g.MaxJobs > 0 && g.generated >= g.MaxJobs {
+		return
+	}
+	gap := g.proc.Next(g.arrival)
+	if gap < 0 {
+		return // arrival stream ended (trace exhausted)
+	}
+	at := g.eng.Now() + simtime.FromSeconds(gap)
+	if g.Until > 0 && at > g.Until {
+		return
+	}
+	g.eng.Schedule(at, func() {
+		j := g.factory.NewJob(g.nextID, at, g.service)
+		g.nextID++
+		g.generated++
+		g.sink(j)
+		g.scheduleNext()
+	})
+}
