@@ -1,0 +1,214 @@
+// Command benchrunner runs the simulator's core performance benchmarks —
+// the engine hot paths, packet forwarding, and the Table I scalability
+// figure — and appends the results to a JSON trajectory file
+// (BENCH_engine.json by default). Committing one entry per PR makes every
+// performance delta machine-checkable: a regression shows up as a drop in
+// events/s or a jump in ns/op or allocs/op relative to the previous entry.
+//
+// Usage:
+//
+//	go run ./cmd/benchrunner [-out BENCH_engine.json] [-label "PR 1"]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"holdcsim/internal/engine"
+	"holdcsim/internal/experiments"
+	"holdcsim/internal/network"
+	"holdcsim/internal/power"
+	"holdcsim/internal/simtime"
+	"holdcsim/internal/topology"
+)
+
+// Result is one benchmark's figures in a trajectory entry.
+type Result struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	// EventsPerSec is the engine dispatch rate where the benchmark
+	// measures one (the Table I row); 0 otherwise.
+	EventsPerSec float64 `json:"events_per_sec,omitempty"`
+	Iterations   int     `json:"iterations"`
+}
+
+// Entry is one benchrunner invocation in the trajectory file.
+type Entry struct {
+	Timestamp time.Time `json:"timestamp"`
+	Label     string    `json:"label,omitempty"`
+	GoVersion string    `json:"go_version"`
+	GOARCH    string    `json:"goarch"`
+	Results   []Result  `json:"results"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_engine.json", "trajectory file to append to")
+	label := flag.String("label", "", "free-form label for this entry (e.g. PR number)")
+	flag.Parse()
+
+	entry := Entry{
+		Timestamp: time.Now().UTC(),
+		Label:     *label,
+		GoVersion: runtime.Version(),
+		GOARCH:    runtime.GOARCH,
+	}
+
+	benches := []struct {
+		name string
+		fn   func(b *testing.B)
+	}{
+		{"engine/schedule-and-run", benchScheduleAndRun},
+		{"engine/churn", benchChurn},
+		{"engine/timer-reset", benchTimerReset},
+		{"network/packet-forwarding", benchPacketForwarding},
+	}
+	for _, bench := range benches {
+		r := testing.Benchmark(bench.fn)
+		res := Result{
+			Name:        bench.name,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			Iterations:  r.N,
+		}
+		entry.Results = append(entry.Results, res)
+		fmt.Printf("%-28s %12.2f ns/op %8d B/op %6d allocs/op\n",
+			bench.name, res.NsPerOp, res.BytesPerOp, res.AllocsPerOp)
+	}
+
+	tableI, err := runTableI()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchrunner: table I: %v\n", err)
+		os.Exit(1)
+	}
+	entry.Results = append(entry.Results, tableI)
+	fmt.Printf("%-28s %12.2f ns/op %17.0f events/s\n", tableI.Name, tableI.NsPerOp, tableI.EventsPerSec)
+
+	if err := appendEntry(*out, entry); err != nil {
+		fmt.Fprintf(os.Stderr, "benchrunner: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("appended entry to %s\n", *out)
+}
+
+// benchScheduleAndRun is the self-rescheduling chain: the dominant
+// schedule->dispatch cycle of every simulation.
+func benchScheduleAndRun(b *testing.B) {
+	b.ReportAllocs()
+	e := engine.New()
+	count := 0
+	var next func()
+	next = func() {
+		count++
+		if count < b.N {
+			e.After(simtime.Microsecond, next)
+		}
+	}
+	b.ResetTimer()
+	e.After(simtime.Microsecond, next)
+	e.Run()
+}
+
+// benchChurn is the delay-timer workload shape: thousands of pending
+// deadlines being canceled and re-armed.
+func benchChurn(b *testing.B) {
+	b.ReportAllocs()
+	e := engine.New()
+	const pending = 4096
+	evs := make([]engine.Handle, pending)
+	for i := range evs {
+		evs[i] = e.Schedule(simtime.Time(i+1)*simtime.Second, func() {})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		idx := i % pending
+		e.Cancel(evs[idx])
+		evs[idx] = e.Schedule(e.Now()+simtime.Time(idx+1)*simtime.Second, func() {})
+	}
+}
+
+func benchTimerReset(b *testing.B) {
+	b.ReportAllocs()
+	e := engine.New()
+	tm := engine.NewTimer(e, func() {})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tm.Reset(simtime.Second)
+	}
+}
+
+// benchPacketForwarding pushes one MTU packet across a k=4 fat-tree per
+// iteration: the per-hop event path of packet mode.
+func benchPacketForwarding(b *testing.B) {
+	b.ReportAllocs()
+	g, err := (topology.FatTree{K: 4, RateBps: 10e9}).Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng := engine.New()
+	cfg := network.DefaultConfig(power.DataCenter10G(8))
+	cfg.PortBufferBytes = 1 << 30
+	n, err := network.New(eng, g, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	hosts := g.Hosts()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := n.TransferPackets(hosts[0], hosts[15], 1500, nil); err != nil {
+			b.Fatal(err)
+		}
+		eng.Run()
+	}
+}
+
+// runTableI reproduces the Table I scalability row and reports the
+// engine's end-to-end dispatch rate.
+func runTableI() (Result, error) {
+	p := experiments.QuickTableI()
+	var res *experiments.TableIResult
+	var err error
+	r := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res, err = experiments.TableI(p)
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{
+		Name:         "experiments/table1-scalability",
+		NsPerOp:      float64(r.T.Nanoseconds()) / float64(r.N),
+		Iterations:   r.N,
+		EventsPerSec: res.EventsPerSec,
+	}, nil
+}
+
+// appendEntry reads the existing trajectory (if any), appends entry, and
+// rewrites the file.
+func appendEntry(path string, entry Entry) error {
+	var entries []Entry
+	if data, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(data, &entries); err != nil {
+			return fmt.Errorf("existing %s is not a trajectory array: %w", path, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	entries = append(entries, entry)
+	data, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,3 @@
+module holdcsim
+
+go 1.22

@@ -96,10 +96,13 @@ func Seconds(s float64) Time { return simtime.FromSeconds(s) }
 
 // Event engine (internal/engine).
 type (
-	// Engine is the discrete-event core: virtual clock + event heap.
+	// Engine is the discrete-event core: virtual clock + pooled ladder
+	// queue of events.
 	Engine = engine.Engine
-	// Event is a scheduled, cancellable closure.
-	Event = engine.Event
+	// EventHandle identifies a scheduled, cancellable closure. It is a
+	// small value type that stays safely inert after its event fires,
+	// is canceled, or is recycled by the engine's event pool.
+	EventHandle = engine.Handle
 	// Timer is a restartable one-shot timer on the virtual clock.
 	Timer = engine.Timer
 )

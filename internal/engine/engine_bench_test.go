@@ -26,7 +26,7 @@ func BenchmarkHeapChurn(b *testing.B) {
 	// workload shape (arm, cancel, re-arm).
 	e := New()
 	const pending = 4096
-	evs := make([]*Event, pending)
+	evs := make([]Handle, pending)
 	for i := range evs {
 		evs[i] = e.Schedule(simtime.Time(i+1)*simtime.Second, func() {})
 	}

@@ -88,15 +88,15 @@ func TestCancel(t *testing.T) {
 	if fired {
 		t.Error("canceled event fired")
 	}
-	// Double cancel and nil cancel must be safe.
+	// Double cancel and zero-Handle cancel must be safe.
 	e.Cancel(ev)
-	e.Cancel(nil)
+	e.Cancel(Handle{})
 }
 
 func TestCancelMiddleOfHeap(t *testing.T) {
 	e := New()
 	var got []int
-	evs := make([]*Event, 10)
+	evs := make([]Handle, 10)
 	for i := 0; i < 10; i++ {
 		i := i
 		evs[i] = e.Schedule(simtime.Time(i*10), func() { got = append(got, i) })
@@ -206,7 +206,7 @@ func TestRandomCancelProperty(t *testing.T) {
 		e := New()
 		n := 200
 		fired := make([]bool, n)
-		evs := make([]*Event, n)
+		evs := make([]Handle, n)
 		for i := 0; i < n; i++ {
 			i := i
 			evs[i] = e.Schedule(simtime.Time(r.Intn(1000)), func() { fired[i] = true })

@@ -7,11 +7,14 @@ import "holdcsim/internal/simtime"
 // "fire unless something happens first" policies.
 //
 // A Timer is bound to one Engine and one callback; Reset re-arms it,
-// canceling any pending expiry.
+// canceling any pending expiry. The expiry closure is created once at
+// construction and the queue entry comes from the engine's event pool, so
+// the arm/cancel/re-arm churn these policies generate allocates nothing.
 type Timer struct {
-	eng *Engine
-	fn  func()
-	ev  *Event
+	eng  *Engine
+	fn   func()
+	fire func() // cached wrapper scheduled on every Reset
+	h    Handle
 }
 
 // NewTimer returns an unarmed timer that will invoke fn on expiry.
@@ -19,38 +22,37 @@ func NewTimer(eng *Engine, fn func()) *Timer {
 	if fn == nil {
 		panic("engine: NewTimer with nil func")
 	}
-	return &Timer{eng: eng, fn: fn}
+	t := &Timer{eng: eng, fn: fn}
+	t.fire = func() {
+		t.h = Handle{}
+		t.fn()
+	}
+	return t
 }
 
 // Reset arms the timer to fire d from now, canceling any pending expiry.
 // A zero d fires at the current time (still via the event queue, preserving
 // deterministic ordering).
 func (t *Timer) Reset(d simtime.Time) {
-	t.Stop()
-	t.ev = t.eng.After(d, func() {
-		t.ev = nil
-		t.fn()
-	})
+	t.eng.Cancel(t.h)
+	t.h = t.eng.After(d, t.fire)
 }
 
 // Stop disarms the timer. It reports whether a pending expiry was canceled.
 func (t *Timer) Stop() bool {
-	if t.ev != nil && t.ev.Pending() {
-		t.eng.Cancel(t.ev)
-		t.ev = nil
-		return true
-	}
-	t.ev = nil
-	return false
+	armed := t.h.Pending()
+	t.eng.Cancel(t.h)
+	t.h = Handle{}
+	return armed
 }
 
 // Armed reports whether the timer has a pending expiry.
-func (t *Timer) Armed() bool { return t.ev != nil && t.ev.Pending() }
+func (t *Timer) Armed() bool { return t.h.Pending() }
 
 // Deadline reports the pending expiry time; valid only when Armed.
 func (t *Timer) Deadline() simtime.Time {
 	if !t.Armed() {
 		return 0
 	}
-	return t.ev.At()
+	return t.h.At()
 }

@@ -22,7 +22,8 @@ type Flow struct {
 	rate      float64 // bytes/sec, assigned by water-filling
 	last      simtime.Time
 	done      func()
-	ev        *engine.Event
+	ev        engine.Handle
+	complete  func() // cached completion callback, rescheduled on every re-rate
 }
 
 // ID reports the flow's identifier.
@@ -80,6 +81,7 @@ func (n *Network) TransferFlow(src, dst topology.NodeID, bytes int64, done func(
 			last:      n.eng.Now(),
 			done:      done,
 		}
+		f.complete = func() { n.flowComplete(f) }
 		cur := src
 		for i, l := range links {
 			f.dirAB[i] = l.a == cur
@@ -116,7 +118,7 @@ func (n *Network) recomputeFlowRates() {
 	n.waterFill()
 	for _, f := range n.flows {
 		n.eng.Cancel(f.ev)
-		f.ev = nil
+		f.ev = engine.Handle{}
 		var dur simtime.Time
 		switch {
 		case f.remaining <= 1e-9:
@@ -129,8 +131,7 @@ func (n *Network) recomputeFlowRates() {
 				dur = 0
 			}
 		}
-		flow := f
-		f.ev = n.eng.After(dur, func() { n.flowComplete(flow) })
+		f.ev = n.eng.After(dur, f.complete)
 	}
 }
 

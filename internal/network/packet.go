@@ -17,6 +17,11 @@ type packet struct {
 	links []*linkState
 	hop   int // index of the link currently being traversed
 	xfer  *pktTransfer
+
+	// arrive and forward are created once per packet and rescheduled at
+	// every hop, so the per-hop engine events allocate nothing.
+	arrive  func() // lands the packet at the far end of the current link
+	forward func() // queues the packet at the next hop's egress
 }
 
 // pktTransfer tracks one packet-mode data transfer.
@@ -27,12 +32,21 @@ type pktTransfer struct {
 	done      func()
 }
 
-// finishOne accounts one packet reaching a terminal state (delivered or
-// dropped) and fires the completion callback once all packets have.
-// Dropped packets are not retransmitted (drops are a congestion signal
-// counted in Stats); completion fires regardless so DAG progress cannot
-// deadlock on a full buffer.
-func (x *pktTransfer) finishOne(n *Network) {
+// finishOne accounts packet p reaching its terminal state — delivered or
+// dropped — updating both the transfer's and the network's counters, and
+// fires the completion callback once all packets have finished. Dropped
+// packets are not retransmitted (drops are a congestion signal counted in
+// Stats); completion fires regardless so DAG progress cannot deadlock on
+// a full buffer.
+func (x *pktTransfer) finishOne(n *Network, p *packet, delivered bool) {
+	if delivered {
+		x.delivered++
+		n.stats.PacketsDelivered++
+		n.stats.BytesDelivered += p.bytes
+	} else {
+		x.dropped++
+		n.stats.PacketsDropped++
+	}
 	if x.delivered+x.dropped == x.total {
 		if x.done != nil {
 			x.done()
@@ -73,6 +87,11 @@ func (n *Network) TransferPackets(src, dst topology.NodeID, bytes int64, done fu
 			}
 			rem -= sz
 			p := &packet{bytes: sz, nodes: nodes, links: links, xfer: xfer}
+			p.arrive = func() { n.packetArrived(p) }
+			p.forward = func() {
+				l := p.links[p.hop]
+				l.egress(l.a == p.nodes[p.hop]).enqueue(n, p)
+			}
 			links[0].egress(links[0].a == src).enqueue(n, p)
 		}
 	})
@@ -86,6 +105,8 @@ type egressQueue struct {
 	ab   bool // direction A->B
 
 	sending     bool
+	cur         *packet // packet being serialized
+	onWire      func()  // cached serialization-done callback
 	queue       []*packet
 	queuedBytes int64
 	drops       int64
@@ -98,9 +119,7 @@ func (q *egressQueue) enqueue(n *Network, p *packet) {
 	if n.cfg.PortBufferBytes > 0 && q.busy() &&
 		q.queuedBytes+p.bytes > n.cfg.PortBufferBytes {
 		q.drops++
-		n.stats.PacketsDropped++
-		p.xfer.dropped++
-		p.xfer.finishOne(n)
+		p.xfer.finishOne(n, p, false)
 		return
 	}
 	q.queue = append(q.queue, p)
@@ -114,9 +133,11 @@ func (q *egressQueue) maybeSend(n *Network) {
 		return
 	}
 	p := q.queue[0]
+	q.queue[0] = nil
 	q.queue = q.queue[1:]
 	q.queuedBytes -= p.bytes
 	q.sending = true
+	q.cur = p
 
 	l := q.link
 	// Mark both ports busy for the duration of serialization +
@@ -135,11 +156,21 @@ func (q *egressQueue) maybeSend(n *Network) {
 		l.portB.bytesSent += p.bytes
 	}
 	ser := simtime.FromSeconds(float64(p.bytes) / l.bytesPerSec())
-	n.eng.After(penalty+ser, func() {
-		q.sending = false
-		q.maybeSend(n)
-		n.eng.After(n.cfg.PropDelay, func() { n.packetArrived(p) })
-	})
+	if q.onWire == nil {
+		q.onWire = func() { q.serialized(q.link.net) }
+	}
+	n.eng.After(penalty+ser, q.onWire)
+}
+
+// serialized fires when the head packet's last bit is on the wire: the
+// line frees up for the next queued packet while the current one
+// propagates to the far end.
+func (q *egressQueue) serialized(n *Network) {
+	p := q.cur
+	q.cur = nil
+	q.sending = false
+	q.maybeSend(n)
+	n.eng.After(n.cfg.PropDelay, p.arrive)
 }
 
 // packetArrived lands a packet at the far end of its current link.
@@ -147,20 +178,13 @@ func (n *Network) packetArrived(p *packet) {
 	l := p.links[p.hop]
 	l.markIdle()
 	p.hop++
-	at := p.nodes[p.hop]
 	if p.hop == len(p.links) { // destination host
-		n.stats.PacketsDelivered++
-		n.stats.BytesDelivered += p.bytes
-		p.xfer.delivered++
-		p.xfer.finishOne(n)
+		p.xfer.finishOne(n, p, true)
 		return
 	}
 	// Forwarding delay inside the switch (or relay host in server-centric
 	// topologies), then queue at the next egress.
-	next := p.links[p.hop]
-	n.eng.After(n.cfg.SwitchLatency, func() {
-		next.egress(next.a == at).enqueue(n, p)
-	})
+	n.eng.After(n.cfg.SwitchLatency, p.forward)
 }
 
 // Drops reports total packets dropped at all egress queues.

@@ -32,7 +32,7 @@ type Switch struct {
 	sleeping  bool
 	waking    bool
 	wakeUntil simtime.Time
-	wakeEv    *engine.Event
+	wakeEv    engine.Handle
 	sleepTmr  *engine.Timer
 
 	meter     *stats.EnergyMeter

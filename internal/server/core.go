@@ -24,7 +24,8 @@ type Core struct {
 	reserved  *job.Task // task waiting for this core's wake to finish
 
 	task      *job.Task
-	finishEv  *engine.Event
+	finishEv  engine.Handle
+	finishCB  func() // cached completion closure, one per core
 	idleTimer *engine.Timer
 	target    power.CState // next C-state the idle timer promotes into
 	idleStart simtime.Time // when the current idle period began
@@ -123,7 +124,10 @@ func (c *Core) run(t *job.Task) {
 	c.srv.busyCores++
 	c.srv.recompute()
 	dur := t.ServiceTime(c.effectiveSpeed())
-	c.finishEv = c.srv.eng.After(dur, func() { c.finish() })
+	if c.finishCB == nil {
+		c.finishCB = c.finish
+	}
+	c.finishEv = c.srv.eng.After(dur, c.finishCB)
 }
 
 // finish completes the running task and asks the server for more work.
@@ -131,7 +135,7 @@ func (c *Core) finish() {
 	t := c.task
 	c.busy = false
 	c.task = nil
-	c.finishEv = nil
+	c.finishEv = engine.Handle{}
 	c.completed++
 	c.srv.busyCores--
 	c.srv.coreFinished(c, t)

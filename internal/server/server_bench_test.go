@@ -42,3 +42,25 @@ func BenchmarkSleepWakeCycle(b *testing.B) {
 		eng.Run()
 	}
 }
+
+// BenchmarkDelayTimerChurn is the dual-delay-timer hot path end to end:
+// every Submit disarms the delay timer and every drain re-arms it, so one
+// task per iteration exercises a full Stop/Reset cycle through the
+// engine's event pool (Sec. IV-B churn; see DESIGN.md Sec. 4).
+func BenchmarkDelayTimerChurn(b *testing.B) {
+	eng := engine.New()
+	cfg := DefaultConfig(power.XeonE5_2680())
+	cfg.DelayTimerEnabled = true
+	cfg.DelayTimer = simtime.Second // long enough to never actually sleep
+	s, err := New(0, eng, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j := job.Single(job.ID(i), eng.Now(), simtime.Microsecond)
+		s.Submit(j.Tasks[0]) // disarms the delay timer
+		eng.Run()            // task completes; server idles; timer re-arms
+	}
+}

@@ -24,6 +24,7 @@ type Tally struct {
 	max     float64
 	samples []float64
 	keep    bool
+	dirty   bool // samples appended since the last sort
 }
 
 // NewTally returns an empty tally that retains samples for percentiles.
@@ -54,6 +55,7 @@ func (t *Tally) Add(x float64) {
 	}
 	if t.keep {
 		t.samples = append(t.samples, x)
+		t.dirty = true
 	}
 }
 
@@ -142,9 +144,13 @@ func (t *Tally) String() string {
 		t.name, t.n, t.Mean(), t.StdDev(), t.min, t.max)
 }
 
+// sorted returns the retained samples in ascending order. Percentile and
+// CDF queries between Adds reuse the same sorted slice: the sort runs only
+// when new samples have arrived since the last query, not on every call.
 func (t *Tally) sorted() []float64 {
-	if !sort.Float64sAreSorted(t.samples) {
+	if t.dirty {
 		sort.Float64s(t.samples)
+		t.dirty = false
 	}
 	return t.samples
 }

@@ -1,0 +1,60 @@
+package stats
+
+import (
+	"testing"
+)
+
+// Regression test for the lazy-sort dirty flag: percentile and CDF queries
+// interleaved with out-of-order Adds must always see the newest samples in
+// sorted position, and repeated queries between Adds must not change the
+// answer.
+func TestTallyLazySortInterleaved(t *testing.T) {
+	ty := NewTally("lazy")
+	for _, v := range []float64{5, 1, 9} {
+		ty.Add(v)
+	}
+	if got := ty.Percentile(0); got != 1 {
+		t.Fatalf("P0 = %g, want 1", got)
+	}
+	// Add a new minimum AFTER a query: the dirty flag must force a
+	// re-sort on the next query.
+	ty.Add(0.5)
+	if got := ty.Percentile(0); got != 0.5 {
+		t.Fatalf("P0 after out-of-order Add = %g, want 0.5", got)
+	}
+	if got := ty.Percentile(100); got != 9 {
+		t.Fatalf("P100 = %g, want 9", got)
+	}
+	// Repeated queries with no intervening Add must be stable (and reuse
+	// the already-sorted samples).
+	first := ty.Percentile(50)
+	for i := 0; i < 5; i++ {
+		if got := ty.Percentile(50); got != first {
+			t.Fatalf("repeated P50 changed: %g then %g", first, got)
+		}
+	}
+	// CDF shares the same lazily sorted view.
+	cdf := ty.CDF(4)
+	if cdf[0].X != 0.5 || cdf[len(cdf)-1].X != 9 {
+		t.Fatalf("CDF endpoints = %g..%g, want 0.5..9", cdf[0].X, cdf[len(cdf)-1].X)
+	}
+	ty.Add(100)
+	cdf = ty.CDF(4)
+	if cdf[len(cdf)-1].X != 100 {
+		t.Fatalf("CDF max after Add = %g, want 100", cdf[len(cdf)-1].X)
+	}
+}
+
+// BenchmarkTallyRepeatedPercentiles exercises the query-heavy pattern the
+// dirty flag optimizes: many percentile reads per batch of Adds.
+func BenchmarkTallyRepeatedPercentiles(b *testing.B) {
+	ty := NewTally("bench")
+	for i := 0; i < 100_000; i++ {
+		ty.Add(float64((i * 7919) % 100_000))
+	}
+	ty.Percentile(50) // pay the one-time sort outside the loop
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ty.Percentile(99)
+	}
+}
