@@ -12,7 +12,14 @@ import (
 
 	"holdcsim"
 	"holdcsim/internal/experiments"
+	"holdcsim/internal/runner"
 )
+
+// serialExec pins experiment benchmarks to one worker so their ns/op
+// stays comparable with the serial trajectory recorded in
+// BENCH_engine.json (cmd/benchrunner measures parallel campaign
+// speedup explicitly; these targets guard the hot path).
+var serialExec = runner.Options{Workers: 1}
 
 // ---------------------------------------------------------------------
 // Table & figure regeneration (paper Secs. IV, V and Table I).
@@ -20,7 +27,9 @@ import (
 
 func BenchmarkTableIScalability(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r, err := experiments.TableI(experiments.QuickTableI())
+		p := experiments.QuickTableI()
+		p.Exec = serialExec
+		r, err := experiments.TableI(p)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -30,7 +39,9 @@ func BenchmarkTableIScalability(b *testing.B) {
 
 func BenchmarkFig4Provisioning(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r, err := experiments.Fig4(experiments.QuickFig4())
+		p := experiments.QuickFig4()
+		p.Exec = serialExec
+		r, err := experiments.Fig4(p)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -40,7 +51,9 @@ func BenchmarkFig4Provisioning(b *testing.B) {
 
 func BenchmarkFig5DelayTimerSweep(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r, err := experiments.Fig5(experiments.QuickFig5())
+		p := experiments.QuickFig5()
+		p.Exec = serialExec
+		r, err := experiments.Fig5(p)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -50,7 +63,9 @@ func BenchmarkFig5DelayTimerSweep(b *testing.B) {
 
 func BenchmarkFig6DualTimer(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r, err := experiments.Fig6(experiments.QuickFig6())
+		p := experiments.QuickFig6()
+		p.Exec = serialExec
+		r, err := experiments.Fig6(p)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -66,7 +81,9 @@ func BenchmarkFig6DualTimer(b *testing.B) {
 
 func BenchmarkFig8Residency(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r, err := experiments.Fig8(experiments.QuickFig8())
+		p := experiments.QuickFig8()
+		p.Exec = serialExec
+		r, err := experiments.Fig8(p)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -76,7 +93,9 @@ func BenchmarkFig8Residency(b *testing.B) {
 
 func BenchmarkFig9EnergyBreakdown(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r, err := experiments.Fig9(experiments.QuickFig9())
+		p := experiments.QuickFig9()
+		p.Exec = serialExec
+		r, err := experiments.Fig9(p)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -86,7 +105,9 @@ func BenchmarkFig9EnergyBreakdown(b *testing.B) {
 
 func BenchmarkFig11JointOptimization(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r, err := experiments.Fig11(experiments.QuickFig11())
+		p := experiments.QuickFig11()
+		p.Exec = serialExec
+		r, err := experiments.Fig11(p)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -97,7 +118,9 @@ func BenchmarkFig11JointOptimization(b *testing.B) {
 
 func BenchmarkFig12ServerValidation(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r, err := experiments.Fig12(experiments.QuickFig12())
+		p := experiments.QuickFig12()
+		p.Exec = serialExec
+		r, err := experiments.Fig12(p)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -107,7 +130,9 @@ func BenchmarkFig12ServerValidation(b *testing.B) {
 
 func BenchmarkFig13SwitchValidation(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r, err := experiments.Fig13(experiments.QuickFig13())
+		p := experiments.QuickFig13()
+		p.Exec = serialExec
+		r, err := experiments.Fig13(p)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -116,7 +141,7 @@ func BenchmarkFig13SwitchValidation(b *testing.B) {
 }
 
 // ---------------------------------------------------------------------
-// Ablations (design choices listed in DESIGN.md Sec. 5).
+// Ablations (design choices listed in DESIGN.md Sec. 6).
 // ---------------------------------------------------------------------
 
 // BenchmarkAblationLocalQueue compares the unified local queue against

@@ -23,6 +23,7 @@ import (
 	"holdcsim/internal/experiments"
 	"holdcsim/internal/network"
 	"holdcsim/internal/power"
+	"holdcsim/internal/runner"
 	"holdcsim/internal/simtime"
 	"holdcsim/internal/topology"
 )
@@ -90,6 +91,20 @@ func main() {
 	}
 	entry.Results = append(entry.Results, tableI)
 	fmt.Printf("%-28s %12.2f ns/op %17.0f events/s\n", tableI.Name, tableI.NsPerOp, tableI.EventsPerSec)
+
+	campaign, err := runFig5Campaign()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchrunner: fig5 campaign: %v\n", err)
+		os.Exit(1)
+	}
+	entry.Results = append(entry.Results, campaign...)
+	for _, r := range campaign {
+		fmt.Printf("%-28s %12.2f ns/op\n", r.Name, r.NsPerOp)
+	}
+	if len(campaign) == 2 && campaign[1].NsPerOp > 0 {
+		fmt.Printf("%-28s %12.2fx at GOMAXPROCS=%d\n", "fig5-campaign speedup",
+			campaign[0].NsPerOp/campaign[1].NsPerOp, runtime.GOMAXPROCS(0))
+	}
 
 	if err := appendEntry(*out, entry); err != nil {
 		fmt.Fprintf(os.Stderr, "benchrunner: %v\n", err)
@@ -167,6 +182,41 @@ func benchPacketForwarding(b *testing.B) {
 		}
 		eng.Run()
 	}
+}
+
+// runFig5Campaign measures the Quick Fig. 5 sweep end to end, serially
+// and on the full worker pool. The parallel/serial wall-clock ratio is
+// the campaign runner's scalability figure: output is bit-identical
+// either way, so any gap is pure core utilization. Best-of-3 damps
+// scheduler noise.
+func runFig5Campaign() ([]Result, error) {
+	measure := func(workers int) (float64, error) {
+		best := 0.0
+		for i := 0; i < 3; i++ {
+			p := experiments.QuickFig5()
+			p.Exec = runner.Options{Workers: workers}
+			start := time.Now()
+			if _, err := experiments.Fig5(p); err != nil {
+				return 0, err
+			}
+			if wall := float64(time.Since(start).Nanoseconds()); best == 0 || wall < best {
+				best = wall
+			}
+		}
+		return best, nil
+	}
+	serial, err := measure(1)
+	if err != nil {
+		return nil, err
+	}
+	parallel, err := measure(runtime.GOMAXPROCS(0))
+	if err != nil {
+		return nil, err
+	}
+	return []Result{
+		{Name: "experiments/fig5-campaign-serial", NsPerOp: serial, Iterations: 3},
+		{Name: "experiments/fig5-campaign-parallel", NsPerOp: parallel, Iterations: 3},
+	}, nil
 }
 
 // runTableI reproduces the Table I scalability row and reports the

@@ -1,11 +1,19 @@
 // Command experiments regenerates every table and figure of the paper's
 // evaluation (see DESIGN.md for the experiment index).
 //
+// Campaigns fan their sweep points out over a worker pool; output is
+// bit-identical at any worker count (the runner's determinism contract),
+// so -workers only changes wall-clock. -reps expands every simulation
+// into N seed replications and adds mean/stddev/CI columns to the sweep
+// series.
+//
 // Usage:
 //
-//	experiments -exp all            # run everything at paper scale
-//	experiments -exp fig5 -quick    # one experiment, reduced scale
-//	experiments -exp fig11 -out dir # also write TSV series files
+//	experiments -exp all              # run everything at paper scale
+//	experiments -exp fig5 -quick      # one experiment, reduced scale
+//	experiments -exp fig11 -out dir   # also write TSV series files
+//	experiments -exp fig5 -workers 1  # serial execution (same bytes)
+//	experiments -exp fig5 -reps 5     # 5 replications with error bars
 package main
 
 import (
@@ -17,15 +25,25 @@ import (
 	"strings"
 
 	"holdcsim/internal/experiments"
+	"holdcsim/internal/runner"
 )
+
+// cliOpts carries the shared flags into each experiment runner.
+type cliOpts struct {
+	quick bool
+	out   string
+	exec  runner.Options
+}
 
 func main() {
 	exp := flag.String("exp", "all", "experiment: all|table1|fig4|fig5|fig6|fig8|fig9|fig11|fig12|fig13")
 	quick := flag.Bool("quick", false, "use reduced-scale presets")
 	out := flag.String("out", "", "directory to write TSV series (optional)")
+	workers := flag.Int("workers", 0, "campaign worker pool size (0 = GOMAXPROCS)")
+	reps := flag.Int("reps", 1, "replications per simulation (adds mean/stddev/CI columns)")
 	flag.Parse()
 
-	runners := map[string]func(bool, string) error{
+	runners := map[string]func(cliOpts) error{
 		"table1": runTableI,
 		"fig4":   runFig4,
 		"fig5":   runFig5,
@@ -56,9 +74,14 @@ func main() {
 			fatal(err)
 		}
 	}
+	opts := cliOpts{
+		quick: *quick,
+		out:   *out,
+		exec:  runner.Options{Workers: *workers, Reps: *reps},
+	}
 	for _, name := range targets {
 		fmt.Printf("==== %s ====\n", name)
-		if err := runners[name](*quick, *out); err != nil {
+		if err := runners[name](opts); err != nil {
 			fatal(fmt.Errorf("%s: %w", name, err))
 		}
 		fmt.Println()
@@ -83,48 +106,51 @@ func emit(out, name string, table fmt.Stringer) error {
 	return nil
 }
 
-func runTableI(quick bool, out string) error {
+func runTableI(o cliOpts) error {
 	p := experiments.DefaultTableI()
-	if quick {
+	if o.quick {
 		p = experiments.QuickTableI()
 	}
+	p.Exec = o.exec
 	r, err := experiments.TableI(p)
 	if err != nil {
 		return err
 	}
-	if err := emit(out, "table1", r.Features); err != nil {
+	if err := emit(o.out, "table1", r.Features); err != nil {
 		return err
 	}
 	fmt.Println(r.Summary())
 	return nil
 }
 
-func runFig4(quick bool, out string) error {
+func runFig4(o cliOpts) error {
 	p := experiments.DefaultFig4()
-	if quick {
+	if o.quick {
 		p = experiments.QuickFig4()
 	}
+	p.Exec = o.exec
 	r, err := experiments.Fig4(p)
 	if err != nil {
 		return err
 	}
-	if err := emit(out, "fig4", r.Series); err != nil {
+	if err := emit(o.out, "fig4", r.Series); err != nil {
 		return err
 	}
 	fmt.Println(r.Summary())
 	return nil
 }
 
-func runFig5(quick bool, out string) error {
+func runFig5(o cliOpts) error {
 	p := experiments.DefaultFig5()
-	if quick {
+	if o.quick {
 		p = experiments.QuickFig5()
 	}
+	p.Exec = o.exec
 	r, err := experiments.Fig5(p)
 	if err != nil {
 		return err
 	}
-	if err := emit(out, "fig5", r.Series); err != nil {
+	if err := emit(o.out, "fig5", r.Series); err != nil {
 		return err
 	}
 	keys := make([]string, 0, len(r.OptimalTau))
@@ -138,16 +164,17 @@ func runFig5(quick bool, out string) error {
 	return nil
 }
 
-func runFig6(quick bool, out string) error {
+func runFig6(o cliOpts) error {
 	p := experiments.DefaultFig6()
-	if quick {
+	if o.quick {
 		p = experiments.QuickFig6()
 	}
+	p.Exec = o.exec
 	r, err := experiments.Fig6(p)
 	if err != nil {
 		return err
 	}
-	if err := emit(out, "fig6", r.Series); err != nil {
+	if err := emit(o.out, "fig6", r.Series); err != nil {
 		return err
 	}
 	for _, pt := range r.Points {
@@ -157,28 +184,30 @@ func runFig6(quick bool, out string) error {
 	return nil
 }
 
-func runFig8(quick bool, out string) error {
+func runFig8(o cliOpts) error {
 	p := experiments.DefaultFig8()
-	if quick {
+	if o.quick {
 		p = experiments.QuickFig8()
 	}
+	p.Exec = o.exec
 	r, err := experiments.Fig8(p)
 	if err != nil {
 		return err
 	}
-	return emit(out, "fig8", r.Series)
+	return emit(o.out, "fig8", r.Series)
 }
 
-func runFig9(quick bool, out string) error {
+func runFig9(o cliOpts) error {
 	p := experiments.DefaultFig9()
-	if quick {
+	if o.quick {
 		p = experiments.QuickFig9()
 	}
+	p.Exec = o.exec
 	r, err := experiments.Fig9(p)
 	if err != nil {
 		return err
 	}
-	if err := emit(out, "fig9", r.Series); err != nil {
+	if err := emit(o.out, "fig9", r.Series); err != nil {
 		return err
 	}
 	fmt.Printf("delay-timer total %.1f kJ, workload-adaptive total %.1f kJ: %.1f%% saving\n",
@@ -186,16 +215,17 @@ func runFig9(quick bool, out string) error {
 	return nil
 }
 
-func runFig11(quick bool, out string) error {
+func runFig11(o cliOpts) error {
 	p := experiments.DefaultFig11()
-	if quick {
+	if o.quick {
 		p = experiments.QuickFig11()
 	}
+	p.Exec = o.exec
 	r, err := experiments.Fig11(p)
 	if err != nil {
 		return err
 	}
-	if err := emit(out, "fig11a", r.Series); err != nil {
+	if err := emit(o.out, "fig11a", r.Series); err != nil {
 		return err
 	}
 	rhos := make([]float64, 0, len(r.ServerSavingPct))
@@ -207,35 +237,21 @@ func runFig11(quick bool, out string) error {
 		fmt.Printf("rho=%.0f%%: server power saving %.1f%%, network power saving %.1f%%\n",
 			rho*100, r.ServerSavingPct[rho], r.NetworkSavingPct[rho])
 	}
-	// Fig. 11b: latency CDFs.
-	cdf := &experiments.Table{
-		Title:  "Fig. 11b: job response time CDF",
-		Header: []string{"policy_rho", "latency_s", "F"},
-	}
-	keys := make([]string, 0, len(r.CDFs))
-	for k := range r.CDFs {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	for _, k := range keys {
-		for _, pt := range r.CDFs[k] {
-			cdf.Addf(k, pt.X, pt.F)
-		}
-	}
-	return emit(out, "fig11b", cdf)
+	return emit(o.out, "fig11b", r.CDFTable())
 }
 
-func runFig12(quick bool, out string) error {
+func runFig12(o cliOpts) error {
 	p := experiments.DefaultFig12()
-	if quick {
+	if o.quick {
 		p = experiments.QuickFig12()
 	}
+	p.Exec = o.exec
 	r, err := experiments.Fig12(p)
 	if err != nil {
 		return err
 	}
-	if out != "" {
-		if err := emit(out, "fig12", r.Series); err != nil {
+	if o.out != "" {
+		if err := emit(o.out, "fig12", r.Series); err != nil {
 			return err
 		}
 	}
@@ -243,25 +259,26 @@ func runFig12(quick bool, out string) error {
 	return nil
 }
 
-func runFig13(quick bool, out string) error {
+func runFig13(o cliOpts) error {
 	p := experiments.DefaultFig13()
-	if quick {
+	if o.quick {
 		p = experiments.QuickFig13()
 	}
+	p.Exec = o.exec
 	r, err := experiments.Fig13(p)
 	if err != nil {
 		return err
 	}
-	if out != "" {
-		if err := emit(out, "fig13", r.Series); err != nil {
+	if o.out != "" {
+		if err := emit(o.out, "fig13", r.Series); err != nil {
 			return err
 		}
 		// Fig. 14's two representative 20-minute segments.
-		if err := emit(out, "fig14a", r.Segment(
+		if err := emit(o.out, "fig14a", r.Segment(
 			"Fig. 14a: switch power trace, segment 1 (80-100 min)", 80*60, 100*60)); err != nil {
 			return err
 		}
-		if err := emit(out, "fig14b", r.Segment(
+		if err := emit(o.out, "fig14b", r.Segment(
 			"Fig. 14b: switch power trace, segment 2 (40-60 min)", 40*60, 60*60)); err != nil {
 			return err
 		}

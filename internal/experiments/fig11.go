@@ -1,9 +1,13 @@
 package experiments
 
 import (
+	"fmt"
+	"sort"
+
 	"holdcsim/internal/core"
 	"holdcsim/internal/network"
 	"holdcsim/internal/power"
+	"holdcsim/internal/runner"
 	"holdcsim/internal/sched"
 	"holdcsim/internal/server"
 	"holdcsim/internal/simtime"
@@ -32,6 +36,8 @@ type Fig11Params struct {
 	TauSec             float64
 	SwitchSleepIdleSec float64
 	CDFPoints          int
+	// Exec controls campaign parallelism and replications.
+	Exec runner.Options
 }
 
 // DefaultFig11 mirrors the paper: fat-tree k=4 (16 hosts), 2000 jobs,
@@ -95,30 +101,77 @@ type Fig11Result struct {
 	NetworkSavingPct map[float64]float64
 }
 
-// Fig11 runs the joint optimization comparison.
+// fig11Sample is one (rho, policy) cell's outcome.
+type fig11Sample struct {
+	Point Fig11Point
+	CDF   []stats.CDFPoint
+}
+
+// Fig11 runs the joint optimization comparison. Each (rho, policy) cell
+// is an independent runner.Run. With Exec.Reps > 1 power and latency
+// figures become across-replication means (wake counts and the latency
+// CDF keep the base-seed replication) and the series gains server-power
+// stddev/CI95 and replication-count columns.
 func Fig11(p Fig11Params) (*Fig11Result, error) {
+	header := []string{"policy", "rho", "server_W", "network_W",
+		"mean_lat_s", "p95_lat_s", "switch_wakes", "server_wakes"}
+	nrep := p.Exec.RepCount()
+	if nrep > 1 {
+		header = append(header, "server_std_W", "server_ci95_W", "reps")
+	}
 	out := &Fig11Result{
 		Series: &Table{
-			Title: "Fig. 11a: server and network power, Server-Balanced vs Server-Network-Aware",
-			Header: []string{"policy", "rho", "server_W", "network_W",
-				"mean_lat_s", "p95_lat_s", "switch_wakes", "server_wakes"},
+			Title:  "Fig. 11a: server and network power, Server-Balanced vs Server-Network-Aware",
+			Header: header,
 		},
 		CDFs:             make(map[string][]stats.CDFPoint),
 		ServerSavingPct:  make(map[float64]float64),
 		NetworkSavingPct: make(map[float64]float64),
 	}
+
+	var runs []runner.Run[fig11Sample]
+	for _, rho := range p.Utilizations {
+		for _, networkAware := range []bool{false, true} {
+			rho, networkAware := rho, networkAware
+			// The Key excludes the policy so replication i of both
+			// policies sees the same job sequence (common random
+			// numbers): the saving percentages compare paired runs.
+			runs = append(runs, runner.Run[fig11Sample]{
+				Key: fmt.Sprintf("fig11/%g", rho),
+				Do: func(seed uint64) (fig11Sample, error) {
+					pt, cdf, err := fig11Run(p, rho, networkAware, seed)
+					return fig11Sample{Point: pt, CDF: cdf}, err
+				},
+			})
+		}
+	}
+	reps, err := runner.MapReps(p.Exec, p.Seed, runs)
+	if err != nil {
+		return nil, err
+	}
+
+	idx := 0
 	for _, rho := range p.Utilizations {
 		var balanced, aware Fig11Point
 		for _, networkAware := range []bool{false, true} {
-			pt, cdf, err := fig11Run(p, rho, networkAware)
-			if err != nil {
-				return nil, err
+			rep := reps[idx]
+			idx++
+			pt := rep[0].Point
+			srvPow := runner.SummarizeBy(rep, func(s fig11Sample) float64 { return s.Point.ServerPowerW })
+			if nrep > 1 {
+				pt.ServerPowerW = srvPow.Mean
+				pt.SwitchPowerW = runner.MeanBy(rep, func(s fig11Sample) float64 { return s.Point.SwitchPowerW })
+				pt.MeanLatS = runner.MeanBy(rep, func(s fig11Sample) float64 { return s.Point.MeanLatS })
+				pt.P95LatS = runner.MeanBy(rep, func(s fig11Sample) float64 { return s.Point.P95LatS })
 			}
 			out.Points = append(out.Points, pt)
-			out.Series.Addf(pt.Policy, rho, pt.ServerPowerW, pt.SwitchPowerW,
-				pt.MeanLatS, pt.P95LatS, pt.SwitchWakes, pt.ServerWakes)
-			key := pt.Policy + "/" + formatRho(rho)
-			out.CDFs[key] = cdf
+			row := []any{pt.Policy, rho, pt.ServerPowerW, pt.SwitchPowerW,
+				pt.MeanLatS, pt.P95LatS, pt.SwitchWakes, pt.ServerWakes}
+			if nrep > 1 {
+				row = append(row, srvPow.Std, srvPow.CI95, nrep)
+			}
+			out.Series.Addf(row...)
+			out.CDFs[pt.Policy+"/"+formatRho(rho)] = rep[0].CDF
 			if networkAware {
 				aware = pt
 			} else {
@@ -131,6 +184,26 @@ func Fig11(p Fig11Params) (*Fig11Result, error) {
 	return out, nil
 }
 
+// CDFTable renders the Fig. 11b latency CDFs as one table, keyed by
+// policy/rho in sorted order.
+func (r *Fig11Result) CDFTable() *Table {
+	cdf := &Table{
+		Title:  "Fig. 11b: job response time CDF",
+		Header: []string{"policy_rho", "latency_s", "F"},
+	}
+	keys := make([]string, 0, len(r.CDFs))
+	for k := range r.CDFs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		for _, pt := range r.CDFs[k] {
+			cdf.Addf(k, pt.X, pt.F)
+		}
+	}
+	return cdf
+}
+
 func formatRho(rho float64) string {
 	if rho >= 0.995 {
 		return "100%"
@@ -138,7 +211,7 @@ func formatRho(rho float64) string {
 	return string([]byte{byte('0' + int(rho*10)), '0', '%'})
 }
 
-func fig11Run(p Fig11Params, rho float64, networkAware bool) (Fig11Point, []stats.CDFPoint, error) {
+func fig11Run(p Fig11Params, rho float64, networkAware bool, seed uint64) (Fig11Point, []stats.CDFPoint, error) {
 	topo := topology.FatTree{K: p.FatTreeK, RateBps: 10e9}
 	nHosts := topo.NumHosts()
 
@@ -165,7 +238,7 @@ func fig11Run(p Fig11Params, rho float64, networkAware bool) (Fig11Point, []stat
 	ncfg.ECMP = true // full-bisection fat-tree needs multipath to avoid core hotspots
 
 	cfg := core.Config{
-		Seed:          p.Seed,
+		Seed:          seed,
 		Servers:       nHosts,
 		ServerConfig:  sc,
 		Topology:      topo,

@@ -7,6 +7,7 @@ import (
 	"holdcsim/internal/dist"
 	"holdcsim/internal/power"
 	"holdcsim/internal/rng"
+	"holdcsim/internal/runner"
 	"holdcsim/internal/sched"
 	"holdcsim/internal/server"
 	"holdcsim/internal/simtime"
@@ -27,6 +28,9 @@ type Fig12Params struct {
 	Seed        uint64
 	DurationSec float64
 	ServiceSec  float64
+	// Exec controls replications; Fig. 12 is a single simulation, so
+	// workers only fan out when Reps > 1.
+	Exec runner.Options
 }
 
 // DefaultFig12 mirrors the paper's 1000-second window (Fig. 12 shows
@@ -53,9 +57,28 @@ type Fig12Result struct {
 	Series       *Table
 }
 
-// Fig12 runs the server power validation.
+// Fig12 runs the server power validation through the campaign runner.
+// With Exec.Reps > 1 the error metrics become across-replication means
+// while the power series keep the base-seed replication.
 func Fig12(p Fig12Params) (*Fig12Result, error) {
-	master := rng.New(p.Seed)
+	rep, err := runner.One(p.Exec, p.Seed, "fig12", func(seed uint64) (*Fig12Result, error) {
+		return fig12Run(p, seed)
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := rep[0]
+	if p.Exec.RepCount() > 1 {
+		out.MeanAbsDiffW = runner.MeanBy(rep, func(r *Fig12Result) float64 { return r.MeanAbsDiffW })
+		out.StdDiffW = runner.MeanBy(rep, func(r *Fig12Result) float64 { return r.StdDiffW })
+		out.MeanRefW = runner.MeanBy(rep, func(r *Fig12Result) float64 { return r.MeanRefW })
+		out.ErrorPct = runner.MeanBy(rep, func(r *Fig12Result) float64 { return r.ErrorPct })
+	}
+	return out, nil
+}
+
+func fig12Run(p Fig12Params, seed uint64) (*Fig12Result, error) {
+	master := rng.New(seed)
 	// The paper drives the server with httperf at web-service rates; the
 	// NLANR-like generator is scaled up so the 10-core box sees a few
 	// busy cores on average, matching Fig. 12's 5-30 W power range.
@@ -77,7 +100,7 @@ func Fig12(p Fig12Params) (*Fig12Result, error) {
 	// package floor); only core C0/C6 toggle, as in the paper's setup.
 	sc.PkgC6Enabled = false
 	cfg := core.Config{
-		Seed:         p.Seed,
+		Seed:         seed,
 		Servers:      1,
 		ServerConfig: sc,
 		Placer:       sched.LeastLoaded{},

@@ -8,6 +8,7 @@ import (
 	"holdcsim/internal/network"
 	"holdcsim/internal/power"
 	"holdcsim/internal/rng"
+	"holdcsim/internal/runner"
 	"holdcsim/internal/sched"
 	"holdcsim/internal/server"
 	"holdcsim/internal/simtime"
@@ -38,6 +39,9 @@ type Fig13Params struct {
 	// with 1 s logging this is what makes port states track request
 	// activity, as in the paper's replay.
 	LPIIdleSec float64
+	// Exec controls replications; Fig. 13 is a single simulation, so
+	// workers only fan out when Reps > 1.
+	Exec runner.Options
 }
 
 // DefaultFig13 mirrors the paper's 2-hour validation.
@@ -70,9 +74,26 @@ type Fig13Result struct {
 	Series       *Table
 }
 
-// Fig13 runs the switch power validation.
+// Fig13 runs the switch power validation through the campaign runner.
+// With Exec.Reps > 1 the error metrics become across-replication means
+// while the power series keep the base-seed replication.
 func Fig13(p Fig13Params) (*Fig13Result, error) {
-	master := rng.New(p.Seed)
+	rep, err := runner.One(p.Exec, p.Seed, "fig13", func(seed uint64) (*Fig13Result, error) {
+		return fig13Run(p, seed)
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := rep[0]
+	if p.Exec.RepCount() > 1 {
+		out.MeanAbsDiffW = runner.MeanBy(rep, func(r *Fig13Result) float64 { return r.MeanAbsDiffW })
+		out.StdDiffW = runner.MeanBy(rep, func(r *Fig13Result) float64 { return r.StdDiffW })
+	}
+	return out, nil
+}
+
+func fig13Run(p Fig13Params, seed uint64) (*Fig13Result, error) {
+	master := rng.New(seed)
 	tr := trace.SyntheticWikipedia(
 		trace.DefaultWikipediaConfig(p.DurationSec, p.MeanRate), master.Split("wikipedia"))
 
@@ -96,7 +117,7 @@ func Fig13(p Fig13Params) (*Fig13Result, error) {
 
 	sc := server.DefaultConfig(power.XeonE5_2680())
 	cfg := core.Config{
-		Seed:          p.Seed,
+		Seed:          seed,
 		Servers:       p.Servers,
 		ServerConfig:  sc,
 		Topology:      topology.Star{Hosts: p.Servers + 1, RateBps: 1e9},

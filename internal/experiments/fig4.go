@@ -6,6 +6,7 @@ import (
 	"holdcsim/internal/core"
 	"holdcsim/internal/power"
 	"holdcsim/internal/rng"
+	"holdcsim/internal/runner"
 	"holdcsim/internal/sched"
 	"holdcsim/internal/server"
 	"holdcsim/internal/simtime"
@@ -24,6 +25,9 @@ type Fig4Params struct {
 	MinLoad     float64 // jobs per active server
 	MaxLoad     float64
 	SampleEvery simtime.Time
+	// Exec controls replications; Fig. 4 is a single simulation, so
+	// workers only fan out when Reps > 1.
+	Exec runner.Options
 }
 
 // DefaultFig4 mirrors the paper: 50 four-core servers, Wikipedia trace.
@@ -57,15 +61,34 @@ type Fig4Result struct {
 	JobsCompleted int64
 }
 
-// Fig4 runs the provisioning experiment.
+// Fig4 runs the provisioning experiment through the campaign runner.
+// With Exec.Reps > 1 the time series keeps the base-seed replication
+// (so plots stay deterministic) while the summary scalars become
+// across-replication means.
 func Fig4(p Fig4Params) (*Fig4Result, error) {
+	rep, err := runner.One(p.Exec, p.Seed, "fig4", func(seed uint64) (*Fig4Result, error) {
+		return fig4Run(p, seed)
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := rep[0]
+	if p.Exec.RepCount() > 1 {
+		out.MinActive = runner.MeanBy(rep, func(r *Fig4Result) float64 { return r.MinActive })
+		out.MaxActive = runner.MeanBy(rep, func(r *Fig4Result) float64 { return r.MaxActive })
+		out.MeanActive = runner.MeanBy(rep, func(r *Fig4Result) float64 { return r.MeanActive })
+	}
+	return out, nil
+}
+
+func fig4Run(p Fig4Params, seed uint64) (*Fig4Result, error) {
 	tr := trace.SyntheticWikipedia(
 		trace.DefaultWikipediaConfig(p.DurationSec, p.MeanRate),
-		rng.New(p.Seed).Split("wikipedia"))
+		rng.New(seed).Split("wikipedia"))
 	prov := sched.NewProvisioner(p.MinLoad, p.MaxLoad)
 
 	cfg := core.Config{
-		Seed:         p.Seed,
+		Seed:         seed,
 		Servers:      p.Servers,
 		ServerConfig: server.DefaultConfig(power.FourCoreServer()),
 		Placer:       prov,

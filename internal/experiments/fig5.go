@@ -6,6 +6,7 @@ import (
 	"holdcsim/internal/core"
 	"holdcsim/internal/dist"
 	"holdcsim/internal/power"
+	"holdcsim/internal/runner"
 	"holdcsim/internal/sched"
 	"holdcsim/internal/server"
 	"holdcsim/internal/simtime"
@@ -26,6 +27,9 @@ type Fig5Params struct {
 	// workload's TauScale.
 	Workloads   []Fig5Workload
 	DurationSec float64
+	// Exec controls campaign parallelism and replications; the zero
+	// value runs every sweep point on GOMAXPROCS workers once.
+	Exec runner.Options
 }
 
 // Fig5Workload names one service-time profile and its τ grid.
@@ -92,26 +96,71 @@ type Fig5Result struct {
 	OptimalTau map[string]float64
 }
 
-// Fig5 runs the delay-timer sweep.
+// Fig5 runs the delay-timer sweep. Every (workload, rho, τ) point is an
+// independent runner.Run, so the campaign parallelizes across Exec
+// workers with output identical to the serial sweep. With Exec.Reps > 1
+// each point's metrics become across-replication means and the series
+// gains energy stddev/CI95 and replication-count columns — the error
+// bars the paper lacks.
 func Fig5(p Fig5Params) (*Fig5Result, error) {
+	header := []string{"workload", "rho", "tau_s", "energy_J", "mean_lat_s", "p95_lat_s", "completion"}
+	nrep := p.Exec.RepCount()
+	if nrep > 1 {
+		header = append(header, "energy_std_J", "energy_ci95_J", "reps")
+	}
 	out := &Fig5Result{
 		Series: &Table{
 			Title:  "Fig. 5: energy vs single delay timer value",
-			Header: []string{"workload", "rho", "tau_s", "energy_J", "mean_lat_s", "p95_lat_s", "completion"},
+			Header: header,
 		},
 		OptimalTau: make(map[string]float64),
 	}
+
+	var runs []runner.Run[Fig5Point]
+	for _, wl := range p.Workloads {
+		for _, rho := range p.Utilizations {
+			for _, tau := range wl.TausSec {
+				wl, rho, tau := wl, rho, tau
+				// The Key excludes τ so replication i of every τ in one
+				// (workload, rho) group shares an arrival stream
+				// (common random numbers): the optimum search compares
+				// paired sweeps, not seed noise.
+				runs = append(runs, runner.Run[Fig5Point]{
+					Key: fmt.Sprintf("fig5/%s/%g", wl.Name, rho),
+					Do: func(seed uint64) (Fig5Point, error) {
+						return fig5Point(p, wl, rho, tau, seed)
+					},
+				})
+			}
+		}
+	}
+	reps, err := runner.MapReps(p.Exec, p.Seed, runs)
+	if err != nil {
+		return nil, err
+	}
+
+	idx := 0
 	for _, wl := range p.Workloads {
 		for _, rho := range p.Utilizations {
 			bestTau, bestE := 0.0, -1.0
 			for _, tau := range wl.TausSec {
-				pt, err := fig5Point(p, wl, rho, tau)
-				if err != nil {
-					return nil, err
+				rep := reps[idx]
+				idx++
+				pt := rep[0]
+				energy := runner.SummarizeBy(rep, func(q Fig5Point) float64 { return q.EnergyJ })
+				if nrep > 1 {
+					pt.EnergyJ = energy.Mean
+					pt.MeanLatS = runner.MeanBy(rep, func(q Fig5Point) float64 { return q.MeanLatS })
+					pt.P95LatS = runner.MeanBy(rep, func(q Fig5Point) float64 { return q.P95LatS })
+					pt.Completion = runner.MeanBy(rep, func(q Fig5Point) float64 { return q.Completion })
 				}
 				out.Points = append(out.Points, pt)
-				out.Series.Addf(wl.Name, rho, tau, pt.EnergyJ, pt.MeanLatS,
-					pt.P95LatS, pt.Completion)
+				row := []any{wl.Name, rho, tau, pt.EnergyJ, pt.MeanLatS,
+					pt.P95LatS, pt.Completion}
+				if nrep > 1 {
+					row = append(row, energy.Std, energy.CI95, nrep)
+				}
+				out.Series.Addf(row...)
 				if pt.Completion >= 0.99 && (bestE < 0 || pt.EnergyJ < bestE) {
 					bestE = pt.EnergyJ
 					bestTau = tau
@@ -123,13 +172,13 @@ func Fig5(p Fig5Params) (*Fig5Result, error) {
 	return out, nil
 }
 
-func fig5Point(p Fig5Params, wl Fig5Workload, rho, tau float64) (Fig5Point, error) {
+func fig5Point(p Fig5Params, wl Fig5Workload, rho, tau float64, seed uint64) (Fig5Point, error) {
 	sc := server.DefaultConfig(power.FourCoreServer())
 	sc.DelayTimerEnabled = true
 	sc.DelayTimer = simtime.FromSeconds(tau)
 	rate := workload.UtilizationRate(rho, p.Servers, p.Cores, wl.Service.Mean())
 	cfg := core.Config{
-		Seed:         p.Seed,
+		Seed:         seed,
 		Servers:      p.Servers,
 		ServerConfig: sc,
 		Placer:       sched.PackFirst{},

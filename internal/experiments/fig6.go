@@ -1,9 +1,12 @@
 package experiments
 
 import (
+	"fmt"
+
 	"holdcsim/internal/core"
 	"holdcsim/internal/dist"
 	"holdcsim/internal/power"
+	"holdcsim/internal/runner"
 	"holdcsim/internal/sched"
 	"holdcsim/internal/server"
 	"holdcsim/internal/simtime"
@@ -30,6 +33,8 @@ type Fig6Params struct {
 	// tunes); the paper reports up to 21% additional saving over it.
 	SingleTauSec float64
 	DurationSec  float64
+	// Exec controls campaign parallelism and replications.
+	Exec runner.Options
 }
 
 // Fig6Workload names one service profile.
@@ -86,39 +91,81 @@ type Fig6Result struct {
 	Series *Table
 }
 
-// Fig6 runs the dual-timer comparison.
+// fig6Sample is one policy run's outcome.
+type fig6Sample struct {
+	EnergyJ float64
+	P95LatS float64
+}
+
+// Fig6 runs the dual-timer comparison. Each (workload, farm, rho,
+// policy) simulation is an independent runner.Run; with Exec.Reps > 1
+// the energies become across-replication means and the series gains
+// dual-energy stddev/CI95 and replication-count columns.
 func Fig6(p Fig6Params) (*Fig6Result, error) {
+	header := []string{"workload", "servers", "rho", "baseline_J", "single_J",
+		"dual_J", "reduction_pct", "vs_single_pct", "dual_p95_s", "single_p95_s"}
+	nrep := p.Exec.RepCount()
+	if nrep > 1 {
+		header = append(header, "dual_std_J", "dual_ci95_J", "reps")
+	}
 	out := &Fig6Result{Series: &Table{
-		Title: "Fig. 6: energy reduction with dual delay timers vs Active-Idle",
-		Header: []string{"workload", "servers", "rho", "baseline_J", "single_J",
-			"dual_J", "reduction_pct", "vs_single_pct", "dual_p95_s", "single_p95_s"},
+		Title:  "Fig. 6: energy reduction with dual delay timers vs Active-Idle",
+		Header: header,
 	}}
+
+	policies := []fig6Policy{policyActiveIdle, policySingleTimer, policyDualTimer}
+	var runs []runner.Run[fig6Sample]
 	for _, wl := range p.Workloads {
 		for _, n := range p.FarmSizes {
 			for _, rho := range p.Utilizations {
-				base, _, err := fig6Run(p, wl, n, rho, policyActiveIdle)
-				if err != nil {
-					return nil, err
+				for _, pol := range policies {
+					wl, n, rho, pol := wl, n, rho, pol
+					// The Key excludes the policy so replication i of
+					// all three policies shares one arrival stream
+					// (common random numbers): the reduction columns
+					// compare paired runs.
+					runs = append(runs, runner.Run[fig6Sample]{
+						Key: fmt.Sprintf("fig6/%s/%d/%g", wl.Name, n, rho),
+						Do: func(seed uint64) (fig6Sample, error) {
+							e, p95, err := fig6Run(p, wl, n, rho, pol, seed)
+							return fig6Sample{EnergyJ: e, P95LatS: p95}, err
+						},
+					})
 				}
-				single, sP95, err := fig6Run(p, wl, n, rho, policySingleTimer)
-				if err != nil {
-					return nil, err
-				}
-				dual, dP95, err := fig6Run(p, wl, n, rho, policyDualTimer)
-				if err != nil {
-					return nil, err
-				}
+			}
+		}
+	}
+	reps, err := runner.MapReps(p.Exec, p.Seed, runs)
+	if err != nil {
+		return nil, err
+	}
+
+	energy := func(s fig6Sample) float64 { return s.EnergyJ }
+	p95 := func(s fig6Sample) float64 { return s.P95LatS }
+	idx := 0
+	for _, wl := range p.Workloads {
+		for _, n := range p.FarmSizes {
+			for _, rho := range p.Utilizations {
+				baseRep, singleRep, dualRep := reps[idx], reps[idx+1], reps[idx+2]
+				idx += len(policies)
+				base := runner.MeanBy(baseRep, energy)
+				single := runner.MeanBy(singleRep, energy)
+				dual := runner.SummarizeBy(dualRep, energy)
 				pt := Fig6Point{
 					Workload: wl.Name, Servers: n, Rho: rho,
-					BaselineJ: base, SingleTimerJ: single, DualTimerJ: dual,
-					ReductionPct:  100 * (base - dual) / base,
-					VsSinglePct:   100 * (single - dual) / single,
-					DualP95LatS:   dP95,
-					SingleP95LatS: sP95,
+					BaselineJ: base, SingleTimerJ: single, DualTimerJ: dual.Mean,
+					ReductionPct:  100 * (base - dual.Mean) / base,
+					VsSinglePct:   100 * (single - dual.Mean) / single,
+					DualP95LatS:   runner.MeanBy(dualRep, p95),
+					SingleP95LatS: runner.MeanBy(singleRep, p95),
 				}
 				out.Points = append(out.Points, pt)
-				out.Series.Addf(wl.Name, n, rho, base, single, dual,
-					pt.ReductionPct, pt.VsSinglePct, dP95, sP95)
+				row := []any{wl.Name, n, rho, base, single, dual.Mean,
+					pt.ReductionPct, pt.VsSinglePct, pt.DualP95LatS, pt.SingleP95LatS}
+				if nrep > 1 {
+					row = append(row, dual.Std, dual.CI95, nrep)
+				}
+				out.Series.Addf(row...)
 			}
 		}
 	}
@@ -133,10 +180,10 @@ const (
 	policyDualTimer
 )
 
-func fig6Run(p Fig6Params, wl Fig6Workload, n int, rho float64, pol fig6Policy) (energyJ, p95 float64, err error) {
+func fig6Run(p Fig6Params, wl Fig6Workload, n int, rho float64, pol fig6Policy, seed uint64) (energyJ, p95 float64, err error) {
 	sc := server.DefaultConfig(power.FourCoreServer())
 	cfg := core.Config{
-		Seed:         p.Seed,
+		Seed:         seed,
 		Servers:      n,
 		ServerConfig: sc,
 		Arrivals: workload.Poisson{

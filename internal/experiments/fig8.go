@@ -1,8 +1,11 @@
 package experiments
 
 import (
+	"fmt"
+
 	"holdcsim/internal/core"
 	"holdcsim/internal/power"
+	"holdcsim/internal/runner"
 	"holdcsim/internal/sched"
 	"holdcsim/internal/server"
 	"holdcsim/internal/simtime"
@@ -24,6 +27,8 @@ type Fig8Params struct {
 	TSleep       float64
 	TauSec       float64
 	DurationSec  float64
+	// Exec controls campaign parallelism and replications.
+	Exec runner.Options
 }
 
 // DefaultFig8 mirrors the paper's setup.
@@ -75,33 +80,67 @@ type Fig8Result struct {
 	Series *Table
 }
 
-// Fig8 runs the residency study.
+// Fig8 runs the residency study. Each (workload, rho) point is an
+// independent runner.Run; with Exec.Reps > 1 every residency fraction is
+// an across-replication mean and the series gains active-residency
+// stddev/CI95 and replication-count columns.
 func Fig8(p Fig8Params) (*Fig8Result, error) {
+	header := []string{"workload", "rho", "active", "wakeup", "idle",
+		"pkgc6", "syssleep", "p90_lat_s"}
+	nrep := p.Exec.RepCount()
+	if nrep > 1 {
+		header = append(header, "active_std", "active_ci95", "reps")
+	}
 	out := &Fig8Result{Series: &Table{
-		Title: "Fig. 8: state residency under the energy-latency optimization framework",
-		Header: []string{"workload", "rho", "active", "wakeup", "idle",
-			"pkgc6", "syssleep", "p90_lat_s"},
+		Title:  "Fig. 8: state residency under the energy-latency optimization framework",
+		Header: header,
 	}}
+
+	var runs []runner.Run[Fig8Row]
 	for _, wl := range p.Workloads {
 		for _, rho := range p.Utilizations {
-			row, err := fig8Point(p, wl, rho)
-			if err != nil {
-				return nil, err
-			}
-			out.Rows = append(out.Rows, row)
-			out.Series.Addf(wl.Name, rho, row.Active, row.WakeUp, row.Idle,
-				row.PkgC6, row.SysSleep, row.P90LatS)
+			wl, rho := wl, rho
+			runs = append(runs, runner.Run[Fig8Row]{
+				Key: fmt.Sprintf("fig8/%s/%g", wl.Name, rho),
+				Do: func(seed uint64) (Fig8Row, error) {
+					return fig8Point(p, wl, rho, seed)
+				},
+			})
 		}
+	}
+	reps, err := runner.MapReps(p.Exec, p.Seed, runs)
+	if err != nil {
+		return nil, err
+	}
+
+	for _, rep := range reps {
+		row := rep[0]
+		active := runner.SummarizeBy(rep, func(r Fig8Row) float64 { return r.Active })
+		if nrep > 1 {
+			row.Active = active.Mean
+			row.WakeUp = runner.MeanBy(rep, func(r Fig8Row) float64 { return r.WakeUp })
+			row.Idle = runner.MeanBy(rep, func(r Fig8Row) float64 { return r.Idle })
+			row.PkgC6 = runner.MeanBy(rep, func(r Fig8Row) float64 { return r.PkgC6 })
+			row.SysSleep = runner.MeanBy(rep, func(r Fig8Row) float64 { return r.SysSleep })
+			row.P90LatS = runner.MeanBy(rep, func(r Fig8Row) float64 { return r.P90LatS })
+		}
+		out.Rows = append(out.Rows, row)
+		cells := []any{row.Workload, row.Rho, row.Active, row.WakeUp, row.Idle,
+			row.PkgC6, row.SysSleep, row.P90LatS}
+		if nrep > 1 {
+			cells = append(cells, active.Std, active.CI95, nrep)
+		}
+		out.Series.Addf(cells...)
 	}
 	return out, nil
 }
 
-func fig8Point(p Fig8Params, wl Fig6Workload, rho float64) (Fig8Row, error) {
+func fig8Point(p Fig8Params, wl Fig6Workload, rho float64, seed uint64) (Fig8Row, error) {
 	prof := power.XeonE5_2680()
 	sc := server.DefaultConfig(prof)
 	pool := sched.NewAdaptivePool(p.TWakeup, p.TSleep, simtime.FromSeconds(p.TauSec))
 	cfg := core.Config{
-		Seed:         p.Seed,
+		Seed:         seed,
 		Servers:      p.Servers,
 		ServerConfig: sc,
 		Placer:       pool,

@@ -4,6 +4,7 @@ import (
 	"holdcsim/internal/core"
 	"holdcsim/internal/power"
 	"holdcsim/internal/rng"
+	"holdcsim/internal/runner"
 	"holdcsim/internal/sched"
 	"holdcsim/internal/server"
 	"holdcsim/internal/simtime"
@@ -25,6 +26,8 @@ type Fig9Params struct {
 	TauSec      float64 // delay timer for policy (a)
 	TWakeup     float64 // adaptive thresholds for policy (b)
 	TSleep      float64
+	// Exec controls campaign parallelism and replications.
+	Exec runner.Options
 }
 
 // DefaultFig9 mirrors the paper's setup.
@@ -57,57 +60,40 @@ type Fig9Result struct {
 	Series            *Table
 }
 
-// Fig9 runs both policies over the same trace.
+// fig9Sample is one policy run's outcome.
+type fig9Sample struct {
+	PerServer []core.ServerEnergy
+	TotalJ    float64
+}
+
+// Fig9 runs both policies over the same trace as independent
+// runner.Runs. With Exec.Reps > 1 the totals and per-server breakdowns
+// become across-replication means (component-wise for the breakdown).
 func Fig9(p Fig9Params) (*Fig9Result, error) {
-	tr := trace.SyntheticWikipedia(
-		trace.DefaultWikipediaConfig(p.DurationSec, p.MeanRate),
-		rng.New(p.Seed).Split("wikipedia"))
-
-	run := func(adaptive bool) (*core.Results, error) {
-		prof := power.XeonE5_2680()
-		sc := server.DefaultConfig(prof)
-		cfg := core.Config{
-			Seed:         p.Seed,
-			Servers:      p.Servers,
-			ServerConfig: sc,
-			Arrivals:     workload.NewTraceReplay(tr),
-			Factory: workload.SingleTask{
-				Service: workload.WebSearchService()},
-			Duration: simtime.FromSeconds(p.DurationSec),
-		}
-		if adaptive {
-			pool := sched.NewAdaptivePool(p.TWakeup, p.TSleep, simtime.FromSeconds(p.TauSec))
-			cfg.Placer = pool
-			cfg.Controller = pool
-		} else {
-			// The paper's delay-timer comparator load-balances across
-			// the farm (its per-server energy is "almost uniform",
-			// Fig. 9), with each server running its own τ timer.
-			cfg.Placer = sched.LeastLoaded{}
-			cfg.ServerConfig.DelayTimerEnabled = true
-			cfg.ServerConfig.DelayTimer = simtime.FromSeconds(p.TauSec)
-		}
-		dc, err := core.Build(cfg)
-		if err != nil {
-			return nil, err
-		}
-		return dc.Run()
+	// Both policies share one Key so replication i of each runs the
+	// same trace (common random numbers): SavingPct compares paired
+	// runs, not trace-to-trace noise.
+	runs := []runner.Run[fig9Sample]{
+		{Key: "fig9", Do: func(seed uint64) (fig9Sample, error) {
+			return fig9Run(p, false, seed)
+		}},
+		{Key: "fig9", Do: func(seed uint64) (fig9Sample, error) {
+			return fig9Run(p, true, seed)
+		}},
 	}
-
-	timer, err := run(false)
+	reps, err := runner.MapReps(p.Exec, p.Seed, runs)
 	if err != nil {
 		return nil, err
 	}
-	adaptive, err := run(true)
-	if err != nil {
-		return nil, err
-	}
+	timer := fig9Aggregate(reps[0])
+	adaptive := fig9Aggregate(reps[1])
+
 	out := &Fig9Result{
 		TimerPerServer:    timer.PerServer,
 		AdaptivePerServer: adaptive.PerServer,
-		TimerTotalJ:       timer.ServerEnergyJ,
-		AdaptiveTotalJ:    adaptive.ServerEnergyJ,
-		SavingPct:         100 * (timer.ServerEnergyJ - adaptive.ServerEnergyJ) / timer.ServerEnergyJ,
+		TimerTotalJ:       timer.TotalJ,
+		AdaptiveTotalJ:    adaptive.TotalJ,
+		SavingPct:         100 * (timer.TotalJ - adaptive.TotalJ) / timer.TotalJ,
 		Series: &Table{
 			Title: "Fig. 9: per-server energy (kJ) under delay-timer vs workload-adaptive policies",
 			Header: []string{"server", "timer_cpu_kJ", "timer_dram_kJ", "timer_platform_kJ",
@@ -121,4 +107,66 @@ func Fig9(p Fig9Params) (*Fig9Result, error) {
 			a.CPU/1e3, a.DRAM/1e3, a.Platform/1e3)
 	}
 	return out, nil
+}
+
+// fig9Aggregate means the replications of one policy; a single
+// replication passes through untouched.
+func fig9Aggregate(rep []fig9Sample) fig9Sample {
+	if len(rep) == 1 {
+		return rep[0]
+	}
+	out := fig9Sample{
+		PerServer: make([]core.ServerEnergy, len(rep[0].PerServer)),
+		TotalJ:    runner.MeanBy(rep, func(s fig9Sample) float64 { return s.TotalJ }),
+	}
+	for i := range out.PerServer {
+		for _, s := range rep {
+			out.PerServer[i].CPU += s.PerServer[i].CPU
+			out.PerServer[i].DRAM += s.PerServer[i].DRAM
+			out.PerServer[i].Platform += s.PerServer[i].Platform
+		}
+		out.PerServer[i].CPU /= float64(len(rep))
+		out.PerServer[i].DRAM /= float64(len(rep))
+		out.PerServer[i].Platform /= float64(len(rep))
+	}
+	return out
+}
+
+func fig9Run(p Fig9Params, adaptive bool, seed uint64) (fig9Sample, error) {
+	tr := trace.SyntheticWikipedia(
+		trace.DefaultWikipediaConfig(p.DurationSec, p.MeanRate),
+		rng.New(seed).Split("wikipedia"))
+
+	prof := power.XeonE5_2680()
+	sc := server.DefaultConfig(prof)
+	cfg := core.Config{
+		Seed:         seed,
+		Servers:      p.Servers,
+		ServerConfig: sc,
+		Arrivals:     workload.NewTraceReplay(tr),
+		Factory: workload.SingleTask{
+			Service: workload.WebSearchService()},
+		Duration: simtime.FromSeconds(p.DurationSec),
+	}
+	if adaptive {
+		pool := sched.NewAdaptivePool(p.TWakeup, p.TSleep, simtime.FromSeconds(p.TauSec))
+		cfg.Placer = pool
+		cfg.Controller = pool
+	} else {
+		// The paper's delay-timer comparator load-balances across
+		// the farm (its per-server energy is "almost uniform",
+		// Fig. 9), with each server running its own τ timer.
+		cfg.Placer = sched.LeastLoaded{}
+		cfg.ServerConfig.DelayTimerEnabled = true
+		cfg.ServerConfig.DelayTimer = simtime.FromSeconds(p.TauSec)
+	}
+	dc, err := core.Build(cfg)
+	if err != nil {
+		return fig9Sample{}, err
+	}
+	res, err := dc.Run()
+	if err != nil {
+		return fig9Sample{}, err
+	}
+	return fig9Sample{PerServer: res.PerServer, TotalJ: res.ServerEnergyJ}, nil
 }

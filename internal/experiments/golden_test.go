@@ -1,0 +1,181 @@
+package experiments
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"holdcsim/internal/runner"
+)
+
+// The golden suite pins the byte-exact output of every Quick preset.
+// Any accidental determinism break — a map iteration leaking into
+// simulation state, a seed stream perturbed by reordered Split calls, a
+// runner scheduling bug — fails tier-1 with a line-level diff. Refresh
+// intentionally changed outputs with:
+//
+//	go test ./internal/experiments -run TestGolden -update
+var update = flag.Bool("update", false, "rewrite golden files under testdata/golden")
+
+// goldenCase renders one Quick preset to its deterministic text output:
+// the TSV series plus any summary lines that carry no wall-clock
+// figures. The same renderings back the worker-count equivalence test.
+type goldenCase struct {
+	name string
+	run  func(exec runner.Options) (string, error)
+}
+
+func goldenCases() []goldenCase {
+	return []goldenCase{
+		{"table1", func(exec runner.Options) (string, error) {
+			p := QuickTableI()
+			p.Exec = exec
+			r, err := TableI(p)
+			if err != nil {
+				return "", err
+			}
+			// Wall-clock and events/s are machine-dependent; jobs and
+			// virtual end time are part of the determinism contract.
+			return r.Features.String() +
+				fmt.Sprintf("jobs_completed\t%d\nsim_seconds\t%.6g\n",
+					r.JobsCompleted, r.SimSeconds), nil
+		}},
+		{"fig4", func(exec runner.Options) (string, error) {
+			p := QuickFig4()
+			p.Exec = exec
+			r, err := Fig4(p)
+			if err != nil {
+				return "", err
+			}
+			return r.Series.String() + r.Summary() + "\n", nil
+		}},
+		{"fig5", func(exec runner.Options) (string, error) {
+			p := QuickFig5()
+			p.Exec = exec
+			r, err := Fig5(p)
+			if err != nil {
+				return "", err
+			}
+			var b strings.Builder
+			b.WriteString(r.Series.String())
+			keys := make([]string, 0, len(r.OptimalTau))
+			for k := range r.OptimalTau {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				fmt.Fprintf(&b, "optimal_tau\t%s\t%.2g\n", k, r.OptimalTau[k])
+			}
+			return b.String(), nil
+		}},
+		{"fig6", func(exec runner.Options) (string, error) {
+			p := QuickFig6()
+			p.Exec = exec
+			r, err := Fig6(p)
+			if err != nil {
+				return "", err
+			}
+			return r.Series.String(), nil
+		}},
+		{"fig8", func(exec runner.Options) (string, error) {
+			p := QuickFig8()
+			p.Exec = exec
+			r, err := Fig8(p)
+			if err != nil {
+				return "", err
+			}
+			return r.Series.String(), nil
+		}},
+		{"fig9", func(exec runner.Options) (string, error) {
+			p := QuickFig9()
+			p.Exec = exec
+			r, err := Fig9(p)
+			if err != nil {
+				return "", err
+			}
+			return r.Series.String() +
+				fmt.Sprintf("totals_kJ\t%.6g\t%.6g\t%.6g\n",
+					r.TimerTotalJ/1e3, r.AdaptiveTotalJ/1e3, r.SavingPct), nil
+		}},
+		{"fig11", func(exec runner.Options) (string, error) {
+			p := QuickFig11()
+			p.Exec = exec
+			r, err := Fig11(p)
+			if err != nil {
+				return "", err
+			}
+			return r.Series.String() + r.CDFTable().String(), nil
+		}},
+		{"fig12", func(exec runner.Options) (string, error) {
+			p := QuickFig12()
+			p.Exec = exec
+			r, err := Fig12(p)
+			if err != nil {
+				return "", err
+			}
+			return r.Series.String() + r.Summary() + "\n", nil
+		}},
+		{"fig13", func(exec runner.Options) (string, error) {
+			p := QuickFig13()
+			p.Exec = exec
+			r, err := Fig13(p)
+			if err != nil {
+				return "", err
+			}
+			return r.Series.String() + r.Summary() + "\n", nil
+		}},
+	}
+}
+
+func goldenPath(name string) string {
+	return filepath.Join("testdata", "golden", name+".golden.tsv")
+}
+
+func TestGoldenQuickPresets(t *testing.T) {
+	for _, c := range goldenCases() {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			got, err := c.run(runner.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			path := goldenPath(c.name)
+			if *update {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("no golden file (regenerate with -update): %v", err)
+			}
+			if got == string(want) {
+				return
+			}
+			gotLines := strings.Split(got, "\n")
+			wantLines := strings.Split(string(want), "\n")
+			for i := 0; i < len(gotLines) || i < len(wantLines); i++ {
+				var g, w string
+				if i < len(gotLines) {
+					g = gotLines[i]
+				}
+				if i < len(wantLines) {
+					w = wantLines[i]
+				}
+				if g != w {
+					t.Fatalf("output differs from %s at line %d:\n got: %q\nwant: %q\n(%d vs %d lines; refresh intentional changes with -update)",
+						path, i+1, g, w, len(gotLines), len(wantLines))
+				}
+			}
+			t.Fatalf("output differs from %s in line endings only", path)
+		})
+	}
+}

@@ -6,6 +6,7 @@ import (
 
 	"holdcsim/internal/core"
 	"holdcsim/internal/power"
+	"holdcsim/internal/runner"
 	"holdcsim/internal/sched"
 	"holdcsim/internal/server"
 
@@ -22,6 +23,11 @@ type TableIParams struct {
 	ScaleServers int
 	// ScaleJobs bounds the scalability run.
 	ScaleJobs int64
+	// Exec controls replications of the scalability run. The run
+	// measures wall-clock, so replications always execute serially
+	// (Workers is forced to 1): concurrent copies would contend for
+	// cores and deflate the reported events/s.
+	Exec runner.Options
 }
 
 // DefaultTableI checks the paper's ">20K servers" claim directly.
@@ -66,11 +72,31 @@ func TableI(p TableIParams) (*TableIResult, error) {
 		features.Add(row[0], row[1])
 	}
 
-	// Scalability: a >20K-server farm under light Poisson load.
+	// Scalability: a >20K-server farm under light Poisson load, run
+	// through the campaign runner; replications mean the throughput
+	// figures over seed variants.
+	exec := p.Exec
+	exec.Workers = 1 // timing runs must not contend with each other
+	rep, err := runner.One(exec, p.Seed, "table1/scale", func(seed uint64) (*TableIResult, error) {
+		return tableIScale(p, seed)
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := rep[0]
+	out.Features = features
+	if p.Exec.RepCount() > 1 {
+		out.EventsPerSec = runner.MeanBy(rep, func(r *TableIResult) float64 { return r.EventsPerSec })
+		out.WallSeconds = runner.MeanBy(rep, func(r *TableIResult) float64 { return r.WallSeconds })
+	}
+	return out, nil
+}
+
+func tableIScale(p TableIParams, seed uint64) (*TableIResult, error) {
 	prof := power.FourCoreServer()
 	sc := server.DefaultConfig(prof)
 	cfg := core.Config{
-		Seed:         p.Seed,
+		Seed:         seed,
 		Servers:      p.ScaleServers,
 		ServerConfig: sc,
 		Placer:       sched.RoundRobin{},
@@ -90,7 +116,6 @@ func TableI(p TableIParams) (*TableIResult, error) {
 	}
 	wall := time.Since(start).Seconds()
 	out := &TableIResult{
-		Features:      features,
 		Servers:       p.ScaleServers,
 		JobsCompleted: res.JobsCompleted,
 		WallSeconds:   wall,

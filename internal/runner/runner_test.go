@@ -1,0 +1,252 @@
+package runner
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"testing"
+
+	"holdcsim/internal/rng"
+)
+
+// echoRuns build runs whose result records exactly which (key, seed) the
+// pool handed them, so ordering and seed-derivation are observable.
+func echoRuns(n int) []Run[string] {
+	runs := make([]Run[string], n)
+	for i := range runs {
+		key := fmt.Sprintf("run/%d", i)
+		runs[i] = Run[string]{
+			Key: key,
+			Do: func(seed uint64) (string, error) {
+				return fmt.Sprintf("%s@%d", key, seed), nil
+			},
+		}
+	}
+	return runs
+}
+
+func TestRepSeed(t *testing.T) {
+	if got := RepSeed(42, "k", 0); got != 42 {
+		t.Errorf("rep 0 must be the base seed, got %d", got)
+	}
+	seen := map[uint64]string{42: "base"}
+	for _, key := range []string{"a", "b"} {
+		for rep := 1; rep <= 3; rep++ {
+			s := RepSeed(42, key, rep)
+			if prev, dup := seen[s]; dup {
+				t.Errorf("RepSeed(42,%q,%d) collides with %s", key, rep, prev)
+			}
+			seen[s] = fmt.Sprintf("%s/%d", key, rep)
+			if again := RepSeed(42, key, rep); again != s {
+				t.Errorf("RepSeed not stable: %d then %d", s, again)
+			}
+		}
+	}
+	if RepSeed(42, "a", 1) == RepSeed(43, "a", 1) {
+		t.Error("different base seeds produced the same rep seed")
+	}
+}
+
+func TestMapSubmissionOrderAcrossWorkerCounts(t *testing.T) {
+	runs := echoRuns(37)
+	var want []string
+	for _, w := range []int{1, 2, 3, runtime.GOMAXPROCS(0), 64} {
+		got, err := Map(Options{Workers: w}, 7, runs)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		if len(got) != len(runs) {
+			t.Fatalf("workers=%d: %d results", w, len(got))
+		}
+		for i, s := range got {
+			if wantPrefix := fmt.Sprintf("run/%d@", i); len(s) < len(wantPrefix) || s[:len(wantPrefix)] != wantPrefix {
+				t.Fatalf("workers=%d: result %d out of order: %s", w, i, s)
+			}
+		}
+		if want == nil {
+			want = got
+			continue
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: result %d = %s, want %s", w, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestMapRepsSeedDerivation(t *testing.T) {
+	runs := echoRuns(5)
+	const seed = 11
+	reps, err := MapReps(Options{Workers: 4, Reps: 3}, seed, runs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range reps {
+		if len(r) != 3 {
+			t.Fatalf("run %d: %d reps", i, len(r))
+		}
+		if want := fmt.Sprintf("run/%d@%d", i, seed); r[0] != want {
+			t.Errorf("run %d rep 0 = %s, want base seed %s", i, r[0], want)
+		}
+		for j := 1; j < 3; j++ {
+			if want := fmt.Sprintf("run/%d@%d", i, RepSeed(seed, runs[i].Key, j)); r[j] != want {
+				t.Errorf("run %d rep %d = %s, want %s", i, j, r[j], want)
+			}
+		}
+	}
+
+	// Parallel replication output must equal serial.
+	serial, err := MapReps(Options{Workers: 1, Reps: 3}, seed, runs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range reps {
+		for j := range reps[i] {
+			if reps[i][j] != serial[i][j] {
+				t.Errorf("[%d][%d]: parallel %s != serial %s", i, j, reps[i][j], serial[i][j])
+			}
+		}
+	}
+}
+
+func TestFirstErrorDeterministic(t *testing.T) {
+	boom := errors.New("boom")
+	runs := make([]Run[int], 20)
+	for i := range runs {
+		i := i
+		runs[i] = Run[int]{
+			Key: fmt.Sprintf("run/%d", i),
+			Do: func(uint64) (int, error) {
+				if i >= 7 { // several failures; the lowest index must win
+					return 0, boom
+				}
+				return i, nil
+			},
+		}
+	}
+	var first string
+	for _, w := range []int{1, 3, 16} {
+		_, err := Map(Options{Workers: w}, 1, runs)
+		if err == nil {
+			t.Fatalf("workers=%d: no error", w)
+		}
+		if !errors.Is(err, boom) {
+			t.Fatalf("workers=%d: error chain lost: %v", w, err)
+		}
+		if first == "" {
+			first = err.Error()
+		} else if err.Error() != first {
+			t.Errorf("workers=%d: error %q, want %q", w, err.Error(), first)
+		}
+	}
+	if want := `runner: run 7 "run/7" (rep 0): boom`; first != want {
+		t.Errorf("first error = %q, want %q", first, want)
+	}
+}
+
+func TestSummarizeKnown(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4})
+	if s.N != 4 || s.Mean != 2.5 {
+		t.Fatalf("N/mean: %+v", s)
+	}
+	wantStd := math.Sqrt(5.0 / 3.0)
+	if math.Abs(s.Std-wantStd) > 1e-12 {
+		t.Errorf("std = %v, want %v", s.Std, wantStd)
+	}
+	if wantCI := 1.96 * wantStd / 2; math.Abs(s.CI95-wantCI) > 1e-12 {
+		t.Errorf("ci95 = %v, want %v", s.CI95, wantCI)
+	}
+}
+
+func TestSummarizeEdgeCases(t *testing.T) {
+	// Empty: all-zero, never NaN.
+	z := Summarize(nil)
+	if z != (Summary{}) {
+		t.Errorf("empty: %+v", z)
+	}
+	// N=1: the value itself with zero spread, never NaN.
+	one := Summarize([]float64{3.25})
+	if one.N != 1 || one.Mean != 3.25 || one.Std != 0 || one.CI95 != 0 {
+		t.Errorf("n=1: %+v", one)
+	}
+	for _, s := range []Summary{z, one} {
+		for _, v := range []float64{s.Mean, s.Std, s.CI95} {
+			if math.IsNaN(v) {
+				t.Errorf("NaN leaked: %+v", s)
+			}
+		}
+	}
+}
+
+// TestSummarizeProperties checks algebraic invariants on randomized
+// samples: the mean is bracketed by min/max, spread is non-negative,
+// shifting samples shifts only the mean, and scaling scales mean and
+// spread together.
+func TestSummarizeProperties(t *testing.T) {
+	r := rng.New(99).Split("summarize-prop")
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + r.IntN(40)
+		samples := make([]float64, n)
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i := range samples {
+			samples[i] = r.Normal(10, 25)
+			lo = math.Min(lo, samples[i])
+			hi = math.Max(hi, samples[i])
+		}
+		s := Summarize(samples)
+		if s.N != n {
+			t.Fatalf("N = %d, want %d", s.N, n)
+		}
+		if s.Mean < lo-1e-9 || s.Mean > hi+1e-9 {
+			t.Fatalf("mean %v outside [%v, %v]", s.Mean, lo, hi)
+		}
+		if s.Std < 0 || s.CI95 < 0 {
+			t.Fatalf("negative spread: %+v", s)
+		}
+
+		shift, scale := r.Uniform(-50, 50), r.Uniform(0.1, 8)
+		shifted := make([]float64, n)
+		scaled := make([]float64, n)
+		for i, v := range samples {
+			shifted[i] = v + shift
+			scaled[i] = v * scale
+		}
+		tol := 1e-9 * (1 + math.Abs(s.Mean) + s.Std)
+		sh := Summarize(shifted)
+		if math.Abs(sh.Mean-(s.Mean+shift)) > tol || math.Abs(sh.Std-s.Std) > tol {
+			t.Fatalf("shift broke invariants: %+v vs %+v (shift %v)", sh, s, shift)
+		}
+		sc := Summarize(scaled)
+		if math.Abs(sc.Mean-s.Mean*scale) > tol*scale || math.Abs(sc.Std-s.Std*scale) > tol*scale {
+			t.Fatalf("scale broke invariants: %+v vs %+v (scale %v)", sc, s, scale)
+		}
+	}
+}
+
+func TestSummarizeByAndMeanBy(t *testing.T) {
+	type pt struct{ e float64 }
+	reps := []pt{{2}, {4}, {6}}
+	s := SummarizeBy(reps, func(p pt) float64 { return p.e })
+	if s.N != 3 || s.Mean != 4 {
+		t.Errorf("SummarizeBy: %+v", s)
+	}
+	if m := MeanBy(reps, func(p pt) float64 { return p.e }); m != 4 {
+		t.Errorf("MeanBy = %v", m)
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	var o Options
+	if o.WorkerCount() != runtime.GOMAXPROCS(0) {
+		t.Errorf("default workers = %d", o.WorkerCount())
+	}
+	if o.RepCount() != 1 {
+		t.Errorf("default reps = %d", o.RepCount())
+	}
+	if (Options{Workers: 3, Reps: 5}).WorkerCount() != 3 ||
+		(Options{Workers: 3, Reps: 5}).RepCount() != 5 {
+		t.Error("explicit options not honored")
+	}
+}
