@@ -14,6 +14,7 @@
 //	experiments -exp fig11 -out dir   # also write TSV series files
 //	experiments -exp fig5 -workers 1  # serial execution (same bytes)
 //	experiments -exp fig5 -reps 5     # 5 replications with error bars
+//	experiments -exp all -quick -check # verify conservation laws per run
 package main
 
 import (
@@ -32,6 +33,7 @@ import (
 type cliOpts struct {
 	quick bool
 	out   string
+	check bool
 	exec  runner.Options
 }
 
@@ -41,6 +43,7 @@ func main() {
 	out := flag.String("out", "", "directory to write TSV series (optional)")
 	workers := flag.Int("workers", 0, "campaign worker pool size (0 = GOMAXPROCS)")
 	reps := flag.Int("reps", 1, "replications per simulation (adds mean/stddev/CI columns)")
+	check := flag.Bool("check", false, "verify runtime invariants (conservation laws) in every simulation")
 	flag.Parse()
 
 	runners := map[string]func(cliOpts) error{
@@ -77,6 +80,7 @@ func main() {
 	opts := cliOpts{
 		quick: *quick,
 		out:   *out,
+		check: *check,
 		exec:  runner.Options{Workers: *workers, Reps: *reps},
 	}
 	for _, name := range targets {
@@ -112,6 +116,7 @@ func runTableI(o cliOpts) error {
 		p = experiments.QuickTableI()
 	}
 	p.Exec = o.exec
+	p.Check = o.check
 	r, err := experiments.TableI(p)
 	if err != nil {
 		return err
@@ -129,6 +134,7 @@ func runFig4(o cliOpts) error {
 		p = experiments.QuickFig4()
 	}
 	p.Exec = o.exec
+	p.Check = o.check
 	r, err := experiments.Fig4(p)
 	if err != nil {
 		return err
@@ -146,6 +152,7 @@ func runFig5(o cliOpts) error {
 		p = experiments.QuickFig5()
 	}
 	p.Exec = o.exec
+	p.Check = o.check
 	r, err := experiments.Fig5(p)
 	if err != nil {
 		return err
@@ -170,6 +177,7 @@ func runFig6(o cliOpts) error {
 		p = experiments.QuickFig6()
 	}
 	p.Exec = o.exec
+	p.Check = o.check
 	r, err := experiments.Fig6(p)
 	if err != nil {
 		return err
@@ -190,6 +198,7 @@ func runFig8(o cliOpts) error {
 		p = experiments.QuickFig8()
 	}
 	p.Exec = o.exec
+	p.Check = o.check
 	r, err := experiments.Fig8(p)
 	if err != nil {
 		return err
@@ -203,6 +212,7 @@ func runFig9(o cliOpts) error {
 		p = experiments.QuickFig9()
 	}
 	p.Exec = o.exec
+	p.Check = o.check
 	r, err := experiments.Fig9(p)
 	if err != nil {
 		return err
@@ -221,6 +231,7 @@ func runFig11(o cliOpts) error {
 		p = experiments.QuickFig11()
 	}
 	p.Exec = o.exec
+	p.Check = o.check
 	r, err := experiments.Fig11(p)
 	if err != nil {
 		return err
@@ -246,6 +257,7 @@ func runFig12(o cliOpts) error {
 		p = experiments.QuickFig12()
 	}
 	p.Exec = o.exec
+	p.Check = o.check
 	r, err := experiments.Fig12(p)
 	if err != nil {
 		return err
@@ -265,6 +277,7 @@ func runFig13(o cliOpts) error {
 		p = experiments.QuickFig13()
 	}
 	p.Exec = o.exec
+	p.Check = o.check
 	r, err := experiments.Fig13(p)
 	if err != nil {
 		return err

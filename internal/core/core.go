@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"holdcsim/internal/engine"
+	"holdcsim/internal/invariant"
 	"holdcsim/internal/job"
 	"holdcsim/internal/network"
 	"holdcsim/internal/rng"
@@ -92,6 +93,18 @@ type Config struct {
 	// SamplePower, when positive, records total server and network power
 	// at this interval (the paper's 1 Hz power logging).
 	SamplePower simtime.Time
+
+	// Check attaches a runtime invariant checker (internal/invariant):
+	// conservation laws are verified at dispatch boundaries during the
+	// run and in full at the end of Run, which then returns an error if
+	// any law was violated. Checking is observation-only — a checked
+	// run produces byte-identical results — and costs nothing when
+	// false (the scheduler's subscriber lists stay empty).
+	Check bool
+	// CheckStationary additionally verifies the statistical Little's
+	// law (L = λW within the 95% CI) at the end of the run. Enable only
+	// for runs expected to be near steady state.
+	CheckStationary bool
 }
 
 // DataCenter is a built simulation ready to run.
@@ -103,9 +116,10 @@ type DataCenter struct {
 	Sched   *sched.Scheduler
 	Gen     *workload.Generator
 
-	cfg    Config
-	rng    *rng.Source
-	hostOf []topology.NodeID
+	cfg     Config
+	rng     *rng.Source
+	hostOf  []topology.NodeID
+	checker *invariant.Checker // nil unless cfg.Check
 
 	latency  *stats.Tally
 	srvPower *stats.PowerSampler
@@ -226,6 +240,12 @@ func Build(cfg Config) (*DataCenter, error) {
 		dc.Gen.Until = cfg.Duration
 	}
 
+	// Invariant checking.
+	if cfg.Check {
+		dc.checker = invariant.Attach(eng, dc.Gen, s, dc.Servers, dc.Net,
+			invariant.Options{Stationary: cfg.CheckStationary})
+	}
+
 	// Power sampling.
 	if cfg.SamplePower > 0 {
 		dc.srvPower = stats.NewPowerSampler(cfg.SamplePower)
@@ -263,7 +283,9 @@ func (dc *DataCenter) ServerPowerW() float64 {
 	return sum
 }
 
-// Run executes the simulation and collects results.
+// Run executes the simulation and collects results. With Check enabled
+// it finalizes the invariant checker; a violated law returns the
+// results alongside a non-nil error describing every violation.
 func (dc *DataCenter) Run() (*Results, error) {
 	dc.Gen.Start()
 	if dc.cfg.Duration > 0 {
@@ -271,8 +293,32 @@ func (dc *DataCenter) Run() (*Results, error) {
 	} else {
 		dc.Eng.Run()
 	}
-	return dc.Collect(), nil
+	r := dc.Collect()
+	if dc.checker != nil {
+		dc.checker.Finalize(r.End)
+		dc.checker.VerifyTotals(invariant.ReportedTotals{
+			End:               r.End,
+			JobsGenerated:     r.JobsGenerated,
+			JobsCompleted:     r.JobsCompleted,
+			ServerEnergyJ:     r.ServerEnergyJ,
+			CPUEnergyJ:        r.CPUEnergyJ,
+			DRAMEnergyJ:       r.DRAMEnergyJ,
+			PlatformEnergyJ:   r.PlatformEnergyJ,
+			NetworkEnergyJ:    r.NetworkEnergyJ,
+			MeanServerPowerW:  r.MeanServerPowerW,
+			MeanNetworkPowerW: r.MeanNetworkPowerW,
+			Residency:         r.Residency,
+		})
+		if err := dc.checker.Err(); err != nil {
+			return r, err
+		}
+	}
+	return r, nil
 }
+
+// Checker exposes the attached invariant checker (nil unless the
+// config enabled Check).
+func (dc *DataCenter) Checker() *invariant.Checker { return dc.checker }
 
 // Collect snapshots results at the current virtual time. It may be
 // called repeatedly (e.g. per sweep point when reusing a data center).

@@ -1,0 +1,195 @@
+package engine
+
+import (
+	"container/heap"
+	"math/rand"
+	"testing"
+
+	"holdcsim/internal/simtime"
+)
+
+// This file extends the ladder-vs-reference-heap differential testing
+// of ladder_test.go with byte-decoded op scripts that interleave
+// Timer.Reset / Timer.Stop with Cancel and re-arm — the exact churn the
+// delay-timer and LPI policies generate — and exposes the decoder to a
+// native fuzz target. The law is unchanged: for any script, the ladder
+// engine must dispatch the bit-identical (id, time) sequence the
+// reference binary heap does.
+
+// numFuzzTimers is the fixed pool of restartable timers a script drives.
+const numFuzzTimers = 8
+
+// timerIDBase offsets timer dispatch ids away from plain event ids.
+const timerIDBase = 1 << 20
+
+// fuzzOp is one decoded operation.
+type fuzzOp struct {
+	kind  byte // 0 schedule, 1 cancel, 2 step, 3 timer-reset, 4 timer-stop
+	delay simtime.Time
+	arg   int // cancel target / timer index
+}
+
+// decodeScript turns raw fuzz bytes into an op script, three bytes per
+// op. The delay byte selects among horizons that land events in every
+// ladder tier (bottom, near buckets, spill) plus zero-delay ties.
+func decodeScript(data []byte) []fuzzOp {
+	ops := make([]fuzzOp, 0, len(data)/3)
+	for i := 0; i+2 < len(data); i += 3 {
+		op := fuzzOp{kind: data[i] % 5, arg: int(data[i+2])}
+		scale := data[i+1]
+		var d simtime.Time
+		switch scale % 6 {
+		case 0:
+			d = 0
+		case 1:
+			d = simtime.Time(scale) * simtime.Nanosecond
+		case 2:
+			d = simtime.Time(scale) * simtime.Microsecond
+		case 3:
+			d = simtime.Time(scale) * simtime.Millisecond
+		case 4:
+			d = simtime.Time(scale) * simtime.Second
+		case 5:
+			d = simtime.Time(scale) * simtime.Hour
+		}
+		op.delay = d
+		ops = append(ops, op)
+	}
+	return ops
+}
+
+// runLadderFuzzScript replays ops on the real engine with a pool of
+// engine.Timers, returning the dispatch sequence.
+func runLadderFuzzScript(ops []fuzzOp) []dispatchRecord {
+	e := New()
+	var fired []dispatchRecord
+	timers := make([]*Timer, numFuzzTimers)
+	for i := range timers {
+		id := timerIDBase + i
+		timers[i] = NewTimer(e, func() {
+			fired = append(fired, dispatchRecord{id: id, at: e.Now()})
+		})
+	}
+	handles := map[int]Handle{}
+	nextID := 0
+	for _, op := range ops {
+		switch op.kind {
+		case 0:
+			id := nextID
+			nextID++
+			handles[id] = e.Schedule(e.Now()+op.delay, func() {
+				fired = append(fired, dispatchRecord{id: id, at: e.Now()})
+			})
+		case 1:
+			if nextID > 0 {
+				e.Cancel(handles[op.arg%nextID])
+			}
+		case 2:
+			e.Step()
+		case 3:
+			timers[op.arg%numFuzzTimers].Reset(op.delay)
+		case 4:
+			timers[op.arg%numFuzzTimers].Stop()
+		}
+	}
+	e.Run()
+	return fired
+}
+
+// refTimer mirrors engine.Timer semantics on the reference heap: Reset
+// cancels the pending expiry and schedules a fresh event (consuming the
+// next sequence number, exactly like Timer.Reset's Cancel + After).
+type refTimer struct {
+	ev *refEvent
+}
+
+// runRefFuzzScript replays the same ops on the reference binary heap.
+func runRefFuzzScript(ops []fuzzOp) []dispatchRecord {
+	r := newRefEngine()
+	var fired []dispatchRecord
+	timers := make([]refTimer, numFuzzTimers)
+	cancelEv := func(ev *refEvent) {
+		if ev != nil && !ev.canceled && ev.index >= 0 {
+			ev.canceled = true
+			heap.Remove(&r.q, ev.index)
+		}
+	}
+	drainOne := func() bool {
+		id, at, ok := r.step()
+		if ok {
+			fired = append(fired, dispatchRecord{id: id, at: at})
+		}
+		return ok
+	}
+	nextID := 0
+	for _, op := range ops {
+		switch op.kind {
+		case 0:
+			r.schedule(r.now+op.delay, nextID)
+			nextID++
+		case 1:
+			if nextID > 0 {
+				r.cancel(op.arg % nextID)
+			}
+		case 2:
+			drainOne()
+		case 3:
+			ti := op.arg % numFuzzTimers
+			cancelEv(timers[ti].ev)
+			ev := &refEvent{at: r.now + op.delay, seq: r.seq, id: timerIDBase + ti}
+			r.seq++
+			heap.Push(&r.q, ev)
+			timers[ti].ev = ev
+		case 4:
+			cancelEv(timers[op.arg%numFuzzTimers].ev)
+		}
+	}
+	for drainOne() {
+	}
+	return fired
+}
+
+// diffScripts replays a script on both implementations and reports the
+// first divergence.
+func diffScripts(t *testing.T, ops []fuzzOp) {
+	t.Helper()
+	got := runLadderFuzzScript(ops)
+	want := runRefFuzzScript(ops)
+	if len(got) != len(want) {
+		t.Fatalf("ladder fired %d events, reference heap fired %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("dispatch %d diverged: ladder %+v, heap %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// FuzzEngineScript: any byte string decodes to a valid op script; the
+// ladder queue and the reference heap must dispatch identically.
+func FuzzEngineScript(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 3, 0, 0, 4, 1, 2, 0, 0})          // schedule, schedule, step
+	f.Add([]byte{3, 3, 0, 3, 3, 0, 4, 0, 0, 2, 0, 0}) // timer reset, reset, stop, step
+	// A churn-heavy corpus entry: interleaved schedules, timer re-arms
+	// and cancels across tiers.
+	f.Add([]byte{0, 5, 0, 3, 200, 1, 1, 0, 0, 3, 200, 1, 2, 0, 0, 0, 130, 7, 4, 0, 1, 2, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 3*5000 {
+			data = data[:3*5000] // bound script length, not coverage
+		}
+		diffScripts(t, decodeScript(data))
+	})
+}
+
+// TestLadderTimerDifferential is the deterministic companion of
+// FuzzEngineScript: randomized scripts heavy on Timer.Reset/Stop churn,
+// replayed on every run of the suite (no -fuzz flag needed).
+func TestLadderTimerDifferential(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		data := make([]byte, 3*1500)
+		r.Read(data)
+		diffScripts(t, decodeScript(data))
+	}
+}

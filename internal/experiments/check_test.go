@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"os"
+	"testing"
+
+	"holdcsim/internal/runner"
+)
+
+// TestInvariantCheckQuickPresets runs every Quick preset with runtime
+// invariant checking enabled and requires (a) zero violations — no
+// error from any run — and (b) byte-identical output to the committed
+// golden files, proving the checker is observation-only: hooking every
+// dispatch boundary must not perturb a single event, draw, or float.
+func TestInvariantCheckQuickPresets(t *testing.T) {
+	for _, c := range goldenCases() {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			got, err := c.run(runner.Options{}, true)
+			if err != nil {
+				t.Fatalf("invariant violation in %s: %v", c.name, err)
+			}
+			want, err := os.ReadFile(goldenPath(c.name))
+			if err != nil {
+				t.Fatalf("no golden file (regenerate with -update): %v", err)
+			}
+			if got != string(want) {
+				t.Fatalf("%s: checked run diverged from golden output — the checker perturbed the simulation", c.name)
+			}
+		})
+	}
+}
+
+// BenchmarkFig5Unchecked/BenchmarkFig5Checked measure the invariant
+// checker's wall-clock overhead on the flagship sweep (acceptance
+// budget: <= 2% when enabled; compare the two ns/op figures).
+func BenchmarkFig5Unchecked(b *testing.B) { benchFig5(b, false) }
+
+// BenchmarkFig5Checked is the checked counterpart of BenchmarkFig5Unchecked.
+func BenchmarkFig5Checked(b *testing.B) { benchFig5(b, true) }
+
+func benchFig5(b *testing.B, check bool) {
+	p := QuickFig5()
+	p.Exec = runner.Options{Workers: 1}
+	p.Check = check
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Fig5(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

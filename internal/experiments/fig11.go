@@ -38,6 +38,9 @@ type Fig11Params struct {
 	CDFPoints          int
 	// Exec controls campaign parallelism and replications.
 	Exec runner.Options
+	// Check enables runtime invariant checking on every simulation
+	// (internal/invariant): a violated conservation law fails the run.
+	Check bool
 }
 
 // DefaultFig11 mirrors the paper: fat-tree k=4 (16 hosts), 2000 jobs,
@@ -239,6 +242,7 @@ func fig11Run(p Fig11Params, rho float64, networkAware bool, seed uint64) (Fig11
 
 	cfg := core.Config{
 		Seed:          seed,
+		Check:         p.Check,
 		Servers:       nHosts,
 		ServerConfig:  sc,
 		Topology:      topo,

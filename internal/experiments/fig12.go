@@ -31,6 +31,9 @@ type Fig12Params struct {
 	// Exec controls replications; Fig. 12 is a single simulation, so
 	// workers only fan out when Reps > 1.
 	Exec runner.Options
+	// Check enables runtime invariant checking on every simulation
+	// (internal/invariant): a violated conservation law fails the run.
+	Check bool
 }
 
 // DefaultFig12 mirrors the paper's 1000-second window (Fig. 12 shows
@@ -101,6 +104,7 @@ func fig12Run(p Fig12Params, seed uint64) (*Fig12Result, error) {
 	sc.PkgC6Enabled = false
 	cfg := core.Config{
 		Seed:         seed,
+		Check:        p.Check,
 		Servers:      1,
 		ServerConfig: sc,
 		Placer:       sched.LeastLoaded{},

@@ -42,6 +42,9 @@ type Fig13Params struct {
 	// Exec controls replications; Fig. 13 is a single simulation, so
 	// workers only fan out when Reps > 1.
 	Exec runner.Options
+	// Check enables runtime invariant checking on every simulation
+	// (internal/invariant): a violated conservation law fails the run.
+	Check bool
 }
 
 // DefaultFig13 mirrors the paper's 2-hour validation.
@@ -118,6 +121,7 @@ func fig13Run(p Fig13Params, seed uint64) (*Fig13Result, error) {
 	sc := server.DefaultConfig(power.XeonE5_2680())
 	cfg := core.Config{
 		Seed:          seed,
+		Check:         p.Check,
 		Servers:       p.Servers,
 		ServerConfig:  sc,
 		Topology:      topology.Star{Hosts: p.Servers + 1, RateBps: 1e9},

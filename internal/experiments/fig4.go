@@ -28,6 +28,9 @@ type Fig4Params struct {
 	// Exec controls replications; Fig. 4 is a single simulation, so
 	// workers only fan out when Reps > 1.
 	Exec runner.Options
+	// Check enables runtime invariant checking on every simulation
+	// (internal/invariant): a violated conservation law fails the run.
+	Check bool
 }
 
 // DefaultFig4 mirrors the paper: 50 four-core servers, Wikipedia trace.
@@ -89,6 +92,7 @@ func fig4Run(p Fig4Params, seed uint64) (*Fig4Result, error) {
 
 	cfg := core.Config{
 		Seed:         seed,
+		Check:        p.Check,
 		Servers:      p.Servers,
 		ServerConfig: server.DefaultConfig(power.FourCoreServer()),
 		Placer:       prov,

@@ -30,6 +30,9 @@ type Fig5Params struct {
 	// Exec controls campaign parallelism and replications; the zero
 	// value runs every sweep point on GOMAXPROCS workers once.
 	Exec runner.Options
+	// Check enables runtime invariant checking on every simulation
+	// (internal/invariant): a violated conservation law fails the run.
+	Check bool
 }
 
 // Fig5Workload names one service-time profile and its τ grid.
@@ -179,6 +182,7 @@ func fig5Point(p Fig5Params, wl Fig5Workload, rho, tau float64, seed uint64) (Fi
 	rate := workload.UtilizationRate(rho, p.Servers, p.Cores, wl.Service.Mean())
 	cfg := core.Config{
 		Seed:         seed,
+		Check:        p.Check,
 		Servers:      p.Servers,
 		ServerConfig: sc,
 		Placer:       sched.PackFirst{},

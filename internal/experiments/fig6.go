@@ -35,6 +35,9 @@ type Fig6Params struct {
 	DurationSec  float64
 	// Exec controls campaign parallelism and replications.
 	Exec runner.Options
+	// Check enables runtime invariant checking on every simulation
+	// (internal/invariant): a violated conservation law fails the run.
+	Check bool
 }
 
 // Fig6Workload names one service profile.
@@ -184,6 +187,7 @@ func fig6Run(p Fig6Params, wl Fig6Workload, n int, rho float64, pol fig6Policy, 
 	sc := server.DefaultConfig(power.FourCoreServer())
 	cfg := core.Config{
 		Seed:         seed,
+		Check:        p.Check,
 		Servers:      n,
 		ServerConfig: sc,
 		Arrivals: workload.Poisson{

@@ -29,6 +29,9 @@ type Fig8Params struct {
 	DurationSec  float64
 	// Exec controls campaign parallelism and replications.
 	Exec runner.Options
+	// Check enables runtime invariant checking on every simulation
+	// (internal/invariant): a violated conservation law fails the run.
+	Check bool
 }
 
 // DefaultFig8 mirrors the paper's setup.
@@ -141,6 +144,7 @@ func fig8Point(p Fig8Params, wl Fig6Workload, rho float64, seed uint64) (Fig8Row
 	pool := sched.NewAdaptivePool(p.TWakeup, p.TSleep, simtime.FromSeconds(p.TauSec))
 	cfg := core.Config{
 		Seed:         seed,
+		Check:        p.Check,
 		Servers:      p.Servers,
 		ServerConfig: sc,
 		Placer:       pool,

@@ -28,6 +28,9 @@ type Fig9Params struct {
 	TSleep      float64
 	// Exec controls campaign parallelism and replications.
 	Exec runner.Options
+	// Check enables runtime invariant checking on every simulation
+	// (internal/invariant): a violated conservation law fails the run.
+	Check bool
 }
 
 // DefaultFig9 mirrors the paper's setup.
@@ -141,6 +144,7 @@ func fig9Run(p Fig9Params, adaptive bool, seed uint64) (fig9Sample, error) {
 	sc := server.DefaultConfig(prof)
 	cfg := core.Config{
 		Seed:         seed,
+		Check:        p.Check,
 		Servers:      p.Servers,
 		ServerConfig: sc,
 		Arrivals:     workload.NewTraceReplay(tr),

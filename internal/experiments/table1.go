@@ -28,6 +28,9 @@ type TableIParams struct {
 	// (Workers is forced to 1): concurrent copies would contend for
 	// cores and deflate the reported events/s.
 	Exec runner.Options
+	// Check enables runtime invariant checking on every simulation
+	// (internal/invariant): a violated conservation law fails the run.
+	Check bool
 }
 
 // DefaultTableI checks the paper's ">20K servers" claim directly.
@@ -97,6 +100,7 @@ func tableIScale(p TableIParams, seed uint64) (*TableIResult, error) {
 	sc := server.DefaultConfig(prof)
 	cfg := core.Config{
 		Seed:         seed,
+		Check:        p.Check,
 		Servers:      p.ScaleServers,
 		ServerConfig: sc,
 		Placer:       sched.RoundRobin{},

@@ -1,0 +1,520 @@
+// Package invariant verifies conservation laws of a running simulation.
+//
+// The golden suite pins *outputs*; this package pins *physics*. A
+// Checker subscribes to the scheduler's observation hooks and, at every
+// dispatch boundary, verifies the cheap O(1) laws (monotonic virtual
+// time, job-count conservation, non-negative load counters); every
+// SampleEvery-th observation and at Finalize it runs the O(servers)
+// deep scan and the end-of-run laws — task conservation, energy
+// accounting closure, per-flow packet conservation, and the exact
+// integral form of Little's law. The checker is observation-only: it
+// never perturbs event order, rng streams, or any simulation state, so
+// a checked run produces byte-identical output to an unchecked one.
+//
+// DESIGN.md Sec. 7 ("Invariant contract") documents each law and how to
+// add one.
+package invariant
+
+import (
+	"fmt"
+	"math"
+
+	"holdcsim/internal/engine"
+	"holdcsim/internal/job"
+	"holdcsim/internal/network"
+	"holdcsim/internal/sched"
+	"holdcsim/internal/server"
+	"holdcsim/internal/simtime"
+	"holdcsim/internal/workload"
+)
+
+// Violation is one broken law.
+type Violation struct {
+	// Law names the violated law ("monotonic-time", "task-conservation",
+	// "energy-closure", "non-negative-queues", "packet-conservation",
+	// "little-exact", "little-ci", "reported-totals", "placement").
+	Law    string
+	Detail string
+}
+
+// String implements fmt.Stringer.
+func (v Violation) String() string { return v.Law + ": " + v.Detail }
+
+// Options tunes a Checker.
+type Options struct {
+	// SampleEvery runs the O(servers) deep scan once per this many
+	// observations (default 64). The scan always also runs at Finalize.
+	SampleEvery int
+	// Stationary additionally checks the statistical form of Little's
+	// law at Finalize: |L − λW| within the 95% CI of the mean sojourn.
+	// Only meaningful for runs long enough to be near steady state.
+	Stationary bool
+	// MaxViolations caps recorded violations (default 32); further
+	// violations increment the suppressed counter.
+	MaxViolations int
+}
+
+// RelTol is the relative tolerance for floating-point closure laws.
+const RelTol = 1e-9
+
+// Checker observes one data center and accumulates violations. Attach
+// wires it; Finalize runs the end-of-run laws. All methods run
+// single-threaded on the engine's event loop, like the simulation
+// itself.
+type Checker struct {
+	eng     *engine.Engine
+	gen     *workload.Generator
+	sched   *sched.Scheduler
+	servers []*server.Server
+	net     *network.Network
+	opts    Options
+
+	lastNow simtime.Time
+	obs     int64
+	scanIn  int // observations until the next deep scan
+
+	// Little's-law bookkeeping in exact integer nanoseconds: the area
+	// under N(t) must equal the summed time-in-system of every job,
+	// completed or still open, with no tolerance at all.
+	inSystem      int64
+	lastChange    simtime.Time
+	jobNanoSecs   int64 // ∫ N(t) dt in job·ns
+	arrived       int64
+	completed     int64
+	sumArriveNs   int64 // Σ arrive over all arrivals
+	sumSojournNs  int64 // Σ (finish − arrive) over completed
+	sumArrDoneNs  int64 // Σ arrive over completed
+	sumSojournS   float64
+	sumSojournSqS float64
+
+	violations []Violation
+	suppressed int
+	finalized  bool
+}
+
+// Attach builds a checker and subscribes it to the scheduler's
+// observation hooks. gen and net may be nil (no generator probe / no
+// network); eng, s and servers are required.
+func Attach(eng *engine.Engine, gen *workload.Generator, s *sched.Scheduler,
+	servers []*server.Server, net *network.Network, opts Options) *Checker {
+	if opts.SampleEvery <= 0 {
+		opts.SampleEvery = 64
+	}
+	if opts.MaxViolations <= 0 {
+		opts.MaxViolations = 32
+	}
+	c := &Checker{
+		eng: eng, gen: gen, sched: s, servers: servers, net: net, opts: opts,
+		scanIn: opts.SampleEvery,
+	}
+	s.OnJobArrived(c.onArrive)
+	s.OnJobDone(c.onDone)
+	s.OnDispatch(c.onDispatch)
+	return c
+}
+
+// report records one violation, respecting the cap.
+func (c *Checker) report(law, format string, args ...any) {
+	if len(c.violations) >= c.opts.MaxViolations {
+		c.suppressed++
+		return
+	}
+	c.violations = append(c.violations, Violation{Law: law, Detail: fmt.Sprintf(format, args...)})
+}
+
+// observe runs the per-boundary cheap laws and returns the clock. It
+// sits on the scheduler's hot path: a countdown replaces a modulo, and
+// everything else is two compares and two increments.
+func (c *Checker) observe() simtime.Time {
+	now := c.eng.Now()
+	if now < c.lastNow {
+		c.report("monotonic-time", "clock went backwards: %v after %v", now, c.lastNow)
+	}
+	c.lastNow = now
+	c.obs++
+	if c.scanIn--; c.scanIn <= 0 {
+		c.scanIn = c.opts.SampleEvery
+		c.deepScan()
+	}
+	return now
+}
+
+// settle advances the jobs-in-system integral to now.
+func (c *Checker) settle(now simtime.Time) {
+	if now > c.lastChange {
+		c.jobNanoSecs += c.inSystem * int64(now-c.lastChange)
+		c.lastChange = now
+	}
+}
+
+// checkCounters is the O(1) job-conservation law, valid at every hook
+// boundary: every generated job is either completed or in the system.
+func (c *Checker) checkCounters() {
+	if c.gen == nil {
+		return
+	}
+	gen := c.gen.Generated()
+	done := c.sched.JobsCompleted()
+	open := int64(c.sched.JobsInSystem())
+	if gen != done+open {
+		c.report("task-conservation", "generated %d != completed %d + in-system %d", gen, done, open)
+	}
+}
+
+func (c *Checker) onArrive(j *job.Job) {
+	now := c.observe()
+	c.settle(now)
+	c.inSystem++
+	c.arrived++
+	c.sumArriveNs += int64(j.ArriveAt)
+	if j.ArriveAt > now {
+		c.report("monotonic-time", "job %d arrives at %v, after the clock %v", j.ID, j.ArriveAt, now)
+	}
+	c.checkCounters()
+}
+
+func (c *Checker) onDone(j *job.Job) {
+	now := c.observe()
+	c.settle(now)
+	c.inSystem--
+	c.completed++
+	soj := j.FinishAt - j.ArriveAt
+	if soj < 0 {
+		c.report("monotonic-time", "job %d finished %v before arriving %v", j.ID, j.FinishAt, j.ArriveAt)
+	}
+	c.sumSojournNs += int64(soj)
+	c.sumArrDoneNs += int64(j.ArriveAt)
+	s := soj.Seconds()
+	c.sumSojournS += s
+	c.sumSojournSqS += s * s
+	c.checkCounters()
+}
+
+func (c *Checker) onDispatch(srv *server.Server, t *job.Task) {
+	c.observe()
+	if t.ServerID >= 0 && t.ServerID != srv.ID() {
+		c.report("placement", "task %s placed on server %d, dispatched to %d", t.Name(), t.ServerID, srv.ID())
+	}
+	if k := c.sched.Committed(srv.ID()); k < 0 {
+		c.report("non-negative-queues", "server %d committed count %d at dispatch", srv.ID(), k)
+	}
+}
+
+// Violations reports everything found so far (Finalize appends the
+// end-of-run laws).
+func (c *Checker) Violations() []Violation { return c.violations }
+
+// Suppressed reports violations dropped beyond MaxViolations.
+func (c *Checker) Suppressed() int { return c.suppressed }
+
+// Err folds the violations into a single error, nil when clean.
+func (c *Checker) Err() error {
+	if len(c.violations) == 0 {
+		return nil
+	}
+	msg := ""
+	for i, v := range c.violations {
+		if i > 0 {
+			msg += "; "
+		}
+		msg += v.String()
+	}
+	if c.suppressed > 0 {
+		msg += fmt.Sprintf(" (+%d suppressed)", c.suppressed)
+	}
+	return fmt.Errorf("invariant: %d violation(s): %s", len(c.violations), msg)
+}
+
+// deepScan is the O(servers) non-negativity and range scan.
+func (c *Checker) deepScan() {
+	for _, srv := range c.servers {
+		if q := srv.QueueLen(); q < 0 {
+			c.report("non-negative-queues", "server %d queue length %d", srv.ID(), q)
+		}
+		if b := srv.BusyCores(); b < 0 || b > srv.Cores() {
+			c.report("non-negative-queues", "server %d busy cores %d of %d", srv.ID(), b, srv.Cores())
+		}
+		if k := c.sched.Committed(srv.ID()); k < 0 {
+			c.report("non-negative-queues", "server %d committed count %d", srv.ID(), k)
+		}
+	}
+	if q := c.sched.GlobalQueueLen(); q < 0 {
+		c.report("non-negative-queues", "global queue length %d", q)
+	}
+}
+
+// Finalize runs every end-of-run law at virtual time end and returns
+// all violations found over the run's lifetime. It is idempotent: the
+// laws run once, and repeated calls return the recorded violations
+// without re-reporting them (a persistent defect would otherwise
+// duplicate itself and burn the MaxViolations cap).
+func (c *Checker) Finalize(end simtime.Time) []Violation {
+	if c.finalized {
+		return c.violations
+	}
+	c.finalized = true
+	if end < c.lastNow {
+		c.report("monotonic-time", "finalize at %v before last observation %v", end, c.lastNow)
+	}
+	if now := c.eng.Now(); end < now {
+		// The meters have advanced to the engine clock; query no earlier
+		// so the time-dependent laws stay evaluable.
+		end = now
+	}
+	c.settle(end)
+	c.deepScan()
+	c.checkCounters()
+
+	// Task conservation, cross-checked against the scheduler's own
+	// counters (the checker counts callbacks; the scheduler counts
+	// admissions — they must agree).
+	if c.arrived != c.completed+c.inSystem {
+		c.report("task-conservation", "observed %d arrivals != %d completed + %d open",
+			c.arrived, c.completed, c.inSystem)
+	}
+	if got := c.sched.JobsCompleted(); got != c.completed {
+		c.report("task-conservation", "scheduler completed %d, checker observed %d", got, c.completed)
+	}
+	if got := int64(c.sched.JobsInSystem()); got != c.inSystem {
+		c.report("task-conservation", "scheduler in-system %d, checker observed %d", got, c.inSystem)
+	}
+	if c.gen != nil {
+		if gen := c.gen.Generated(); gen != c.arrived {
+			c.report("task-conservation", "generator emitted %d, scheduler admitted %d", gen, c.arrived)
+		}
+	}
+	// Task-level conservation: every task the scheduler submitted is
+	// either finished on its server or still pending there (queued,
+	// reserved, or running).
+	var tasksDone, tasksPending int64
+	for _, srv := range c.servers {
+		tasksDone += srv.CompletedTasks()
+		tasksPending += int64(srv.PendingTasks())
+	}
+	if dispatched := c.sched.TasksDispatched(); dispatched != tasksDone+tasksPending {
+		c.report("task-conservation", "tasks dispatched %d != finished %d + pending %d",
+			dispatched, tasksDone, tasksPending)
+	}
+
+	// Little's law, exact integral form: the area under N(t) equals the
+	// total time-in-system of completed jobs plus the partial time of
+	// jobs still open at end. Integer nanoseconds — zero tolerance.
+	openPartial := c.inSystem*int64(end) - (c.sumArriveNs - c.sumArrDoneNs)
+	if c.jobNanoSecs != c.sumSojournNs+openPartial {
+		c.report("little-exact", "∫N dt = %d job·ns, but sojourns %d + open partial %d = %d",
+			c.jobNanoSecs, c.sumSojournNs, openPartial, c.sumSojournNs+openPartial)
+	}
+
+	c.checkEnergy(end)
+	c.checkNetwork()
+	if c.opts.Stationary {
+		c.checkLittleCI(end)
+	}
+	return c.violations
+}
+
+// checkEnergy verifies per-server energy accounting: residency
+// fractions must sum to 1, and every component's energy must be finite,
+// non-negative, and within the profile's physical power envelope.
+func (c *Checker) checkEnergy(end simtime.Time) {
+	for _, srv := range c.servers {
+		fr := srv.Residency().FractionsTo(end)
+		if len(fr) > 0 {
+			sum := 0.0
+			for _, f := range fr {
+				if f < -RelTol {
+					c.report("energy-closure", "server %d negative residency fraction %g", srv.ID(), f)
+				}
+				sum += f
+			}
+			if math.Abs(sum-1) > 1e3*RelTol {
+				c.report("energy-closure", "server %d residency fractions sum to %.12g", srv.ID(), sum)
+			}
+		}
+		cpu, dram, plat := srv.CPUEnergyTo(end), srv.DRAMEnergyTo(end), srv.PlatformEnergyTo(end)
+		total := srv.EnergyTo(end)
+		for _, e := range [...]struct {
+			name string
+			j    float64
+		}{{"cpu", cpu}, {"dram", dram}, {"platform", plat}, {"total", total}} {
+			if math.IsNaN(e.j) || math.IsInf(e.j, 0) || e.j < 0 {
+				c.report("energy-closure", "server %d %s energy %g J", srv.ID(), e.name, e.j)
+			}
+		}
+		if !closeRel(total, cpu+dram+plat, RelTol) {
+			c.report("energy-closure", "server %d total %g J != components %g J",
+				srv.ID(), total, cpu+dram+plat)
+		}
+		if cap := powerCap(srv) * end.Seconds(); end > 0 && total > cap*(1+RelTol) {
+			c.report("energy-closure", "server %d energy %g J exceeds power envelope %g J",
+				srv.ID(), total, cap)
+		}
+	}
+}
+
+// powerCap reports an upper bound on one server's instantaneous draw:
+// every core at its most expensive state (highest P-state scale or a
+// core-level wake transition), every package powered, DRAM active,
+// platform on — or a system-level transition, whichever bills higher.
+func powerCap(srv *server.Server) float64 {
+	p := srv.Profile()
+	perCore := p.CoreActive
+	for _, ps := range p.PStates {
+		if w := p.CoreActive * ps.PowerScale; w > perCore {
+			perCore = w
+		}
+	}
+	for _, t := range [...]float64{p.WakeC1.Watts, p.WakeC3.Watts, p.WakeC6.Watts, p.WakePC6.Watts} {
+		if t > perCore {
+			perCore = t
+		}
+	}
+	cap := float64(p.Cores)*perCore + float64(p.SocketCount())*p.PkgPC0 +
+		p.DRAMActive + p.PlatformS0
+	for _, t := range [...]float64{p.WakeS3.Watts, p.WakeS5.Watts, p.SleepEntry.Watts} {
+		if t+p.DRAMActive+p.PlatformS0+p.PkgPC0 > cap {
+			cap = t + p.DRAMActive + p.PlatformS0 + p.PkgPC0
+		}
+	}
+	return cap
+}
+
+// checkNetwork verifies flow and packet conservation.
+func (c *Checker) checkNetwork() {
+	if c.net == nil {
+		return
+	}
+	st := c.net.Stats()
+	if st.FlowsStarted-st.FlowsCompleted != int64(c.net.ActiveFlows()) {
+		c.report("packet-conservation", "flows: started %d − completed %d != active %d",
+			st.FlowsStarted, st.FlowsCompleted, c.net.ActiveFlows())
+	}
+	if st.PacketsDelivered+st.PacketsDropped > st.PacketsSent {
+		c.report("packet-conservation", "packets: delivered %d + dropped %d > sent %d",
+			st.PacketsDelivered, st.PacketsDropped, st.PacketsSent)
+	}
+	if c.net.OpenPacketTransfers() == 0 &&
+		st.PacketsDelivered+st.PacketsDropped != st.PacketsSent {
+		c.report("packet-conservation", "drained, but delivered %d + dropped %d != sent %d",
+			st.PacketsDelivered, st.PacketsDropped, st.PacketsSent)
+	}
+	if d := c.net.Drops(); d != st.PacketsDropped {
+		c.report("packet-conservation", "egress drop counters %d != stats drops %d", d, st.PacketsDropped)
+	}
+	if st.BytesDelivered < 0 {
+		c.report("packet-conservation", "negative bytes delivered %d", st.BytesDelivered)
+	}
+}
+
+// checkLittleCI verifies the statistical Little's law L = λW on a
+// stationary run: the gap (which the exact law shows equals the open
+// jobs' boundary contribution divided by the horizon) must fall inside
+// the 95% confidence interval of λ·W̄.
+func (c *Checker) checkLittleCI(end simtime.Time) {
+	n := c.completed
+	sec := end.Seconds()
+	if n < 30 || sec <= 0 {
+		return // too few samples for a CI to mean anything
+	}
+	w := c.sumSojournS / float64(n)
+	varS := (c.sumSojournSqS - float64(n)*w*w) / float64(n-1)
+	if varS < 0 {
+		varS = 0
+	}
+	lambda := float64(n) / sec
+	l := float64(c.jobNanoSecs) / 1e9 / sec
+	half := 1.96 * math.Sqrt(varS/float64(n)) * lambda
+	if gap := math.Abs(l - lambda*w); gap > half+RelTol*(1+l) {
+		c.report("little-ci", "L=%.6g vs λW=%.6g: gap %.3g outside 95%% CI half-width %.3g (n=%d)",
+			l, lambda*w, gap, half, n)
+	}
+}
+
+// ReportedTotals carries the aggregates a results collector reports,
+// for closure checking against an independent re-summation of the
+// underlying meters.
+type ReportedTotals struct {
+	End               simtime.Time
+	JobsGenerated     int64
+	JobsCompleted     int64
+	ServerEnergyJ     float64
+	CPUEnergyJ        float64
+	DRAMEnergyJ       float64
+	PlatformEnergyJ   float64
+	NetworkEnergyJ    float64
+	MeanServerPowerW  float64
+	MeanNetworkPowerW float64
+	// Residency maps state label to mean fraction across servers.
+	Residency map[string]float64
+}
+
+// VerifyTotals checks reported aggregates against the meters: each
+// component total must match the per-server sum within RelTol, mean
+// power must equal energy over the horizon, and mean residency
+// fractions must sum to 1.
+func (c *Checker) VerifyTotals(rt ReportedTotals) {
+	end := rt.End
+	var cpu, dram, plat float64
+	for _, srv := range c.servers {
+		cpu += srv.CPUEnergyTo(end)
+		dram += srv.DRAMEnergyTo(end)
+		plat += srv.PlatformEnergyTo(end)
+	}
+	for _, cmp := range [...]struct {
+		name            string
+		reported, meter float64
+	}{
+		{"cpu", rt.CPUEnergyJ, cpu},
+		{"dram", rt.DRAMEnergyJ, dram},
+		{"platform", rt.PlatformEnergyJ, plat},
+		{"server-total", rt.ServerEnergyJ, cpu + dram + plat},
+	} {
+		if !closeRel(cmp.reported, cmp.meter, RelTol) {
+			c.report("reported-totals", "%s energy reported %g J, meters sum to %g J",
+				cmp.name, cmp.reported, cmp.meter)
+		}
+	}
+	if sec := end.Seconds(); sec > 0 {
+		if !closeRel(rt.MeanServerPowerW*sec, rt.ServerEnergyJ, RelTol) {
+			c.report("reported-totals", "mean power %g W x %g s != energy %g J",
+				rt.MeanServerPowerW, sec, rt.ServerEnergyJ)
+		}
+	}
+	if c.net != nil {
+		if !closeRel(rt.NetworkEnergyJ, c.net.NetworkEnergyTo(end), RelTol) {
+			c.report("reported-totals", "network energy reported %g J, meters sum to %g J",
+				rt.NetworkEnergyJ, c.net.NetworkEnergyTo(end))
+		}
+		if sec := end.Seconds(); sec > 0 {
+			if !closeRel(rt.MeanNetworkPowerW*sec, rt.NetworkEnergyJ, RelTol) {
+				c.report("reported-totals", "mean network power %g W x %g s != energy %g J",
+					rt.MeanNetworkPowerW, sec, rt.NetworkEnergyJ)
+			}
+		}
+	}
+	if len(rt.Residency) > 0 {
+		sum := 0.0
+		for _, f := range rt.Residency {
+			sum += f
+		}
+		if math.Abs(sum-1) > 1e3*RelTol {
+			c.report("reported-totals", "mean residency fractions sum to %.12g", sum)
+		}
+	}
+	if rt.JobsCompleted > rt.JobsGenerated {
+		c.report("reported-totals", "completed %d > generated %d", rt.JobsCompleted, rt.JobsGenerated)
+	}
+}
+
+// closeRel reports whether a and b agree within rel, scaled by their
+// magnitude (exact for both zero).
+func closeRel(a, b, rel float64) bool {
+	if a == b {
+		return true
+	}
+	scale := math.Abs(a)
+	if s := math.Abs(b); s > scale {
+		scale = s
+	}
+	return math.Abs(a-b) <= rel*scale
+}

@@ -58,6 +58,7 @@ func DefaultConfig(profile *power.SwitchProfile) Config {
 type Stats struct {
 	FlowsStarted     int64
 	FlowsCompleted   int64
+	PacketsSent      int64 // packets injected by packet-mode transfers
 	PacketsDelivered int64
 	PacketsDropped   int64
 	BytesDelivered   int64
@@ -75,6 +76,10 @@ type Network struct {
 
 	flows      []*Flow // active flows in id order
 	nextFlowID int64
+
+	// openPktTransfers counts packet-mode transfers whose completion
+	// callback has not fired yet (packet conservation checking).
+	openPktTransfers int
 
 	stats Stats
 }
@@ -151,6 +156,9 @@ func (n *Network) Stats() Stats { return n.stats }
 
 // Switches returns the switch objects in deterministic node order.
 func (n *Network) Switches() []*Switch { return n.swList }
+
+// OpenPacketTransfers reports packet-mode transfers still in flight.
+func (n *Network) OpenPacketTransfers() int { return n.openPktTransfers }
 
 // SwitchAt returns the switch at a node (nil for hosts).
 func (n *Network) SwitchAt(id topology.NodeID) *Switch { return n.switches[id] }

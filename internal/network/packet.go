@@ -48,6 +48,7 @@ func (x *pktTransfer) finishOne(n *Network, p *packet, delivered bool) {
 		n.stats.PacketsDropped++
 	}
 	if x.delivered+x.dropped == x.total {
+		n.openPktTransfers--
 		if x.done != nil {
 			x.done()
 		}
@@ -77,8 +78,10 @@ func (n *Network) TransferPackets(src, dst topology.NodeID, bytes int64, done fu
 	}
 	nPkts := int((bytes + n.cfg.MTUBytes - 1) / n.cfg.MTUBytes)
 	xfer := &pktTransfer{total: nPkts, done: done}
+	n.openPktTransfers++
 	wait := n.wakePathSwitches(nodes)
 	n.eng.After(wait, func() {
+		n.stats.PacketsSent += int64(nPkts)
 		rem := bytes
 		for i := 0; i < nPkts; i++ {
 			sz := n.cfg.MTUBytes

@@ -1,0 +1,237 @@
+package scenario
+
+import (
+	"holdcsim/internal/core"
+	"holdcsim/internal/rng"
+	"holdcsim/internal/server"
+)
+
+// Axes declares a cross-product scenario matrix. Every axis left empty
+// inherits the base scenario's value; non-empty axes are expanded in
+// declaration order, so the output ordering is stable. Combinations
+// that do not compose a legal configuration (a comm mode without a
+// topology, a network-aware placer on a server-only farm, more servers
+// than hosts) are skipped — the matrix is the *valid* cross product.
+type Axes struct {
+	Seeds      []uint64
+	Topologies []TopologySpec
+	Comms      []core.CommMode
+	Servers    []int
+	Profiles   []ProfileKind
+	Queues     []server.QueueMode
+	DelayTaus  []float64 // seconds; < 0 disables
+	Hetero     []bool
+	Placers    []PlacerSpec
+	Arrivals   []ArrivalSpec
+	Factories  []FactorySpec
+	Horizons   []Horizon
+}
+
+// Horizon is one run-length axis value.
+type Horizon struct {
+	MaxJobs     int64
+	DurationSec float64
+}
+
+// Expand produces every valid scenario in the cross product of the
+// axes over the base. Scenarios whose Servers exceed the topology's
+// host count are clamped to the host count rather than dropped, so
+// topology and farm-size axes compose without manual pairing.
+func (a Axes) Expand(base Scenario) []Scenario {
+	seeds := a.Seeds
+	if len(seeds) == 0 {
+		seeds = []uint64{base.Seed}
+	}
+	topos := a.Topologies
+	if len(topos) == 0 {
+		topos = []TopologySpec{base.Topology}
+	}
+	comms := a.Comms
+	if len(comms) == 0 {
+		comms = []core.CommMode{base.Comm}
+	}
+	servers := a.Servers
+	if len(servers) == 0 {
+		servers = []int{base.Servers}
+	}
+	profiles := a.Profiles
+	if len(profiles) == 0 {
+		profiles = []ProfileKind{base.Profile}
+	}
+	queues := a.Queues
+	if len(queues) == 0 {
+		queues = []server.QueueMode{base.Queue}
+	}
+	taus := a.DelayTaus
+	if len(taus) == 0 {
+		taus = []float64{base.DelayTimerSec}
+	}
+	hetero := a.Hetero
+	if len(hetero) == 0 {
+		hetero = []bool{base.Heterogeneous}
+	}
+	placers := a.Placers
+	if len(placers) == 0 {
+		placers = []PlacerSpec{base.Placer}
+	}
+	arrivals := a.Arrivals
+	if len(arrivals) == 0 {
+		arrivals = []ArrivalSpec{base.Arrival}
+	}
+	factories := a.Factories
+	if len(factories) == 0 {
+		factories = []FactorySpec{base.Factory}
+	}
+	horizons := a.Horizons
+	if len(horizons) == 0 {
+		horizons = []Horizon{{MaxJobs: base.MaxJobs, DurationSec: base.DurationSec}}
+	}
+
+	var out []Scenario
+	seen := make(map[Scenario]bool)
+	for _, seed := range seeds {
+		for _, topo := range topos {
+			for _, comm := range comms {
+				for _, n := range servers {
+					for _, prof := range profiles {
+						for _, q := range queues {
+							for _, tau := range taus {
+								for _, het := range hetero {
+									for _, pl := range placers {
+										for _, arr := range arrivals {
+											for _, fac := range factories {
+												for _, h := range horizons {
+													s := base
+													s.Seed = seed
+													s.Topology = topo
+													s.Comm = comm
+													s.Servers = n
+													s.Profile = prof
+													s.Queue = q
+													s.DelayTimerSec = tau
+													s.Heterogeneous = het
+													s.Placer = pl
+													s.Arrival = arr
+													s.Factory = fac
+													s.MaxJobs = h.MaxJobs
+													s.DurationSec = h.DurationSec
+													if hosts := topo.Hosts(); topo.Kind != TopoNone && s.Servers > hosts {
+														s.Servers = hosts
+													}
+													// Clamping can collapse two farm sizes
+													// onto the same scenario; run each
+													// distinct scenario once.
+													if seen[s] || s.Validate() != nil {
+														continue
+													}
+													seen[s] = true
+													out = append(out, s)
+												}
+											}
+										}
+									}
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Random draws one valid scenario from the full registry of builders —
+// all five topologies (plus server-only), all three comm modes, every
+// placer and pool/provisioning/DVFS governor, Poisson/MMPP/trace
+// arrivals, all four job shapes, homogeneous and heterogeneous core
+// mixes — deterministically from the seed. The same seed always yields
+// the same scenario; the scenario's own Seed is also derived from it,
+// so Random(seed).Run() is a pure function.
+//
+// Shape parameters are bounded so a drawn scenario stays test-sized
+// (hundreds of jobs, tens of servers, seconds of virtual time).
+func Random(seed uint64) Scenario {
+	r := rng.New(seed).Split("random-scenario")
+	s := Scenario{Seed: seed}
+
+	// Topology and comm mode.
+	switch r.IntN(6) {
+	case 0:
+		s.Topology = TopologySpec{Kind: TopoNone}
+	case 1:
+		s.Topology = TopologySpec{Kind: TopoStar, A: 2 + r.IntN(15)}
+	case 2:
+		s.Topology = TopologySpec{Kind: TopoFatTree, A: 2 + 2*r.IntN(2)} // k ∈ {2, 4}
+	case 3:
+		s.Topology = TopologySpec{Kind: TopoBCube, A: 2 + r.IntN(2), B: r.IntN(2)}
+	case 4:
+		s.Topology = TopologySpec{Kind: TopoCamCube, A: 2 + r.IntN(2), B: 2 + r.IntN(2), C: 2}
+	case 5:
+		s.Topology = TopologySpec{Kind: TopoFlatButterfly, A: 2 + r.IntN(2), B: 2, C: 1 + r.IntN(2)}
+	}
+	if s.Topology.Kind != TopoNone {
+		s.Comm = core.CommMode(r.IntN(3)) // none, flow, packet
+		s.SwitchSleepSec = -1
+		if r.Bernoulli(0.3) {
+			s.SwitchSleepSec = 0.2
+		}
+	}
+
+	// Farm.
+	maxServers := 12
+	if h := s.Topology.Hosts(); s.Topology.Kind != TopoNone && h < maxServers {
+		maxServers = h
+	}
+	s.Servers = 1 + r.IntN(maxServers)
+	s.Profile = ProfileKind(r.IntN(3))
+	s.Queue = server.QueueMode(r.IntN(2))
+	s.DelayTimerSec = [...]float64{-1, 0, 0.05, 0.5}[r.IntN(4)]
+	s.Heterogeneous = r.Bernoulli(0.4)
+	s.GlobalQueue = r.Bernoulli(0.3)
+
+	// Placement policy. Network-aware only composes with a topology.
+	kinds := []PlacerKind{PlLeastLoaded, PlRoundRobin, PlPackFirst, PlRandom,
+		PlAdaptivePool, PlProvisioner, PlDualTimer}
+	if s.Topology.Kind != TopoNone {
+		kinds = append(kinds, PlNetworkAware)
+	}
+	s.Placer = PlacerSpec{Kind: kinds[r.IntN(len(kinds))], TauSec: 0.05 + r.Float64()*0.5}
+
+	// Workload.
+	s.Arrival = ArrivalSpec{
+		Kind:       ArrivalKind(r.IntN(4)),
+		Rho:        0.1 + 0.7*r.Float64(),
+		BurstRatio: 2 + r.Float64()*6,
+		TraceSec:   2 + r.Float64()*6,
+	}
+	s.Factory = FactorySpec{
+		Kind:    FactoryKind(r.IntN(4)),
+		Service: ServiceKind(r.IntN(3)),
+		Width:   1 + r.IntN(3),
+		Layers:  1 + r.IntN(3),
+	}
+	if s.Comm != core.CommNone {
+		// Keep packet-mode event counts bounded: <= ~70 MTUs per edge.
+		s.Factory.EdgeBytes = int64(1+r.IntN(100)) * 1024
+	}
+
+	// Horizon. DVFS governors never stop ticking, so they pair only
+	// with a time horizon.
+	if r.Bernoulli(0.5) {
+		s.DurationSec = 1 + 2*r.Float64()
+		s.DVFS = r.Bernoulli(0.3)
+	} else {
+		s.MaxJobs = int64(50 + r.IntN(250))
+	}
+	// Trace arrivals derive their rate from farm capacity: a big farm
+	// with a short service time can pack 10^5+ arrivals into a few trace
+	// seconds. Always cap generation so one drawn scenario stays
+	// test-sized regardless of farm × service composition.
+	if s.Arrival.Kind == ArrTraceWiki || s.Arrival.Kind == ArrTraceNLANR {
+		if s.MaxJobs == 0 || s.MaxJobs > 400 {
+			s.MaxJobs = int64(100 + r.IntN(300))
+		}
+	}
+	return s
+}

@@ -1,0 +1,644 @@
+// Package scenario turns the simulator's full registry of builders —
+// every topology, arrival process, job shape, placement policy, power
+// profile and core mix — into declarative, machine-generatable
+// experiment descriptors.
+//
+// HolDCSim's claim is *holistic* coverage (servers × networks ×
+// policies), but the paper's evaluation exercises only the ~9 fixed
+// configurations behind its figures. A Scenario is plain data: it can
+// be cross-producted (Axes.Expand), drawn at random (Random), fuzzed
+// (FuzzScenario in this package's tests), and every run carries the
+// runtime invariant checker (internal/invariant), so the scenario space
+// is explored with conservation laws verified rather than golden files
+// spot-checked.
+package scenario
+
+import (
+	"fmt"
+
+	"holdcsim/internal/core"
+	"holdcsim/internal/dist"
+	"holdcsim/internal/invariant"
+	"holdcsim/internal/network"
+	"holdcsim/internal/power"
+	"holdcsim/internal/rng"
+	"holdcsim/internal/sched"
+	"holdcsim/internal/server"
+	"holdcsim/internal/simtime"
+	"holdcsim/internal/topology"
+	"holdcsim/internal/trace"
+	"holdcsim/internal/workload"
+)
+
+// ---------------------------------------------------------------------
+// Topology axis
+// ---------------------------------------------------------------------
+
+// TopoKind selects a topology family from the registry.
+type TopoKind int
+
+// Topology kinds. TopoNone runs server-only (no network layer).
+const (
+	TopoNone TopoKind = iota
+	TopoStar
+	TopoFatTree
+	TopoBCube
+	TopoCamCube
+	TopoFlatButterfly
+)
+
+// TopologySpec declares one topology instance. A, B, C are the
+// kind-specific shape parameters:
+//
+//	Star:           A = hosts
+//	FatTree:        A = k (even)
+//	BCube:          A = n, B = k
+//	CamCube:        A×B×C torus dimensions
+//	FlatButterfly:  A = rows, B = cols, C = concentration
+type TopologySpec struct {
+	Kind    TopoKind
+	A, B, C int
+	RateBps float64 // 0 = family default
+}
+
+// Builder returns the topology builder, or nil for TopoNone.
+func (t TopologySpec) Builder() topology.Topology {
+	switch t.Kind {
+	case TopoStar:
+		return topology.Star{Hosts: t.A, RateBps: t.RateBps}
+	case TopoFatTree:
+		return topology.FatTree{K: t.A, RateBps: t.RateBps}
+	case TopoBCube:
+		return topology.BCube{N: t.A, K: t.B, RateBps: t.RateBps}
+	case TopoCamCube:
+		return topology.CamCube{X: t.A, Y: t.B, Z: t.C, RateBps: t.RateBps}
+	case TopoFlatButterfly:
+		return topology.FlattenedButterfly{Rows: t.A, Cols: t.B, Concentration: t.C, RateBps: t.RateBps}
+	}
+	return nil
+}
+
+// Hosts reports the host count the spec will build (0 for TopoNone).
+func (t TopologySpec) Hosts() int {
+	switch t.Kind {
+	case TopoStar:
+		return t.A
+	case TopoFatTree:
+		return t.A * t.A * t.A / 4
+	case TopoBCube:
+		n := 1
+		for i := 0; i <= t.B; i++ {
+			n *= t.A
+		}
+		return n
+	case TopoCamCube:
+		return t.A * t.B * t.C
+	case TopoFlatButterfly:
+		return t.A * t.B * t.C
+	}
+	return 0
+}
+
+// MaxSwitchDegree reports the largest port count any switch needs (0
+// for switchless topologies), sizing the switch power profile.
+func (t TopologySpec) MaxSwitchDegree() int {
+	switch t.Kind {
+	case TopoStar:
+		return t.A
+	case TopoFatTree:
+		return t.A
+	case TopoBCube:
+		return t.A
+	case TopoFlatButterfly:
+		return t.C + (t.A - 1) + (t.B - 1)
+	}
+	return 0
+}
+
+// String implements fmt.Stringer.
+func (t TopologySpec) String() string {
+	switch t.Kind {
+	case TopoStar:
+		return fmt.Sprintf("star%d", t.A)
+	case TopoFatTree:
+		return fmt.Sprintf("fattree%d", t.A)
+	case TopoBCube:
+		return fmt.Sprintf("bcube%d-%d", t.A, t.B)
+	case TopoCamCube:
+		return fmt.Sprintf("camcube%dx%dx%d", t.A, t.B, t.C)
+	case TopoFlatButterfly:
+		return fmt.Sprintf("flatbfly%dx%dx%d", t.A, t.B, t.C)
+	}
+	return "none"
+}
+
+// ---------------------------------------------------------------------
+// Arrival axis
+// ---------------------------------------------------------------------
+
+// ArrivalKind selects an arrival process from the registry.
+type ArrivalKind int
+
+// Arrival kinds.
+const (
+	ArrPoisson ArrivalKind = iota
+	ArrMMPP
+	ArrTraceWiki
+	ArrTraceNLANR
+)
+
+// ArrivalSpec declares the workload's arrival process. Rho is the
+// target utilization; the concrete rate is derived from the farm size
+// and the factory's mean service demand, so the same spec composes
+// sanely with any farm.
+type ArrivalSpec struct {
+	Kind ArrivalKind
+	// Rho is the target system utilization in (0, 1).
+	Rho float64
+	// BurstRatio is the MMPP λH/λL ratio (>= 1); ignored elsewhere.
+	BurstRatio float64
+	// TraceSec is the synthesized trace length for the trace kinds.
+	TraceSec float64
+}
+
+// String implements fmt.Stringer.
+func (a ArrivalSpec) String() string {
+	switch a.Kind {
+	case ArrMMPP:
+		return fmt.Sprintf("mmpp%.2g-r%g", a.Rho, a.BurstRatio)
+	case ArrTraceWiki:
+		return fmt.Sprintf("wiki%.2g", a.Rho)
+	case ArrTraceNLANR:
+		return fmt.Sprintf("nlanr%.2g", a.Rho)
+	}
+	return fmt.Sprintf("poisson%.2g", a.Rho)
+}
+
+// process constructs the arrival process for a farm with the given
+// aggregate service capacity. r must be a stream derived only from the
+// scenario seed (the process is part of the run's pure function).
+func (a ArrivalSpec) process(rate float64, r *rng.Source) (workload.ArrivalProcess, error) {
+	switch a.Kind {
+	case ArrPoisson:
+		return workload.Poisson{Rate: rate}, nil
+	case ArrMMPP:
+		ratio := a.BurstRatio
+		if ratio < 1 {
+			return nil, fmt.Errorf("scenario: MMPP burst ratio %g < 1", ratio)
+		}
+		// Burst duty cycle 1/3 (0.5 s bursts, 1 s quiet), mean rate
+		// preserved: rate = λH/3 + 2λL/3 with λH = ratio·λL.
+		lambdaL := 3 * rate / (ratio + 2)
+		proc, err := dist.NewMMPP2(ratio*lambdaL, lambdaL, 0.5, 1.0)
+		if err != nil {
+			return nil, err
+		}
+		return workload.MMPP{Proc: proc}, nil
+	case ArrTraceWiki:
+		dur := a.TraceSec
+		if dur <= 0 {
+			dur = 10
+		}
+		tr := trace.SyntheticWikipedia(trace.DefaultWikipediaConfig(dur, rate), r.Split("trace/wiki"))
+		return workload.NewTraceReplay(tr), nil
+	case ArrTraceNLANR:
+		dur := a.TraceSec
+		if dur <= 0 {
+			dur = 10
+		}
+		tr := trace.SyntheticNLANR(trace.DefaultNLANRConfig(dur), r.Split("trace/nlanr"))
+		// NLANR synthesis fixes its own burst rates; rescale to the
+		// requested mean rate so utilization stays in range.
+		if mr := tr.MeanRate(); mr > 0 && rate > 0 {
+			tr.Scale(mr / rate)
+		}
+		return workload.NewTraceReplay(tr), nil
+	}
+	return nil, fmt.Errorf("scenario: unknown arrival kind %d", a.Kind)
+}
+
+// ---------------------------------------------------------------------
+// Factory axis
+// ---------------------------------------------------------------------
+
+// FactoryKind selects a job shape from the registry.
+type FactoryKind int
+
+// Factory kinds.
+const (
+	FacSingle FactoryKind = iota
+	FacTwoTier
+	FacScatterGather
+	FacRandomDAG
+)
+
+// ServiceKind selects a service-time profile.
+type ServiceKind int
+
+// Service profiles (paper Sec. IV).
+const (
+	SvcWebSearch  ServiceKind = iota // exp, 5 ms mean
+	SvcWebServing                    // exp, 120 ms mean
+	SvcWikipedia                     // uniform 3–10 ms
+)
+
+func (s ServiceKind) sampler() dist.Sampler {
+	switch s {
+	case SvcWebServing:
+		return workload.WebServingService()
+	case SvcWikipedia:
+		return workload.WikipediaService()
+	}
+	return workload.WebSearchService()
+}
+
+// FactorySpec declares the job DAG shape.
+type FactorySpec struct {
+	Kind    FactoryKind
+	Service ServiceKind
+	// Width is the scatter-gather fan-out / random-DAG max layer width.
+	Width int
+	// Layers is the random-DAG depth.
+	Layers int
+	// EdgeBytes is the data carried per DAG edge.
+	EdgeBytes int64
+}
+
+// String implements fmt.Stringer.
+func (f FactorySpec) String() string {
+	switch f.Kind {
+	case FacTwoTier:
+		return "twotier"
+	case FacScatterGather:
+		return fmt.Sprintf("scatter%d", f.Width)
+	case FacRandomDAG:
+		return fmt.Sprintf("dag%dx%d", f.Layers, f.Width)
+	}
+	return "single"
+}
+
+// factory constructs the workload factory.
+func (f FactorySpec) factory() (workload.JobFactory, error) {
+	svc := f.Service.sampler()
+	switch f.Kind {
+	case FacSingle:
+		return workload.SingleTask{Service: svc}, nil
+	case FacTwoTier:
+		return workload.TwoTier{AppService: svc, DBService: svc, Bytes: f.EdgeBytes}, nil
+	case FacScatterGather:
+		if f.Width < 1 {
+			return nil, fmt.Errorf("scenario: scatter-gather width %d < 1", f.Width)
+		}
+		return workload.ScatterGather{
+			Width: f.Width, RootSize: svc, WorkerSize: svc, AggSize: svc,
+			Bytes: f.EdgeBytes,
+		}, nil
+	case FacRandomDAG:
+		if f.Width < 1 || f.Layers < 1 {
+			return nil, fmt.Errorf("scenario: random DAG shape %dx%d invalid", f.Layers, f.Width)
+		}
+		mean := simtime.FromSeconds(svc.Mean())
+		return workload.RandomDAG{
+			Layers: f.Layers, MaxWidth: f.Width, MaxDeps: 2,
+			MinSize: mean / 2, MaxSize: mean * 2, EdgeBytes: f.EdgeBytes,
+		}, nil
+	}
+	return nil, fmt.Errorf("scenario: unknown factory kind %d", f.Kind)
+}
+
+// meanTasksPerJob estimates E[tasks] for utilization-rate derivation.
+func (f FactorySpec) meanTasksPerJob() float64 {
+	switch f.Kind {
+	case FacTwoTier:
+		return 2
+	case FacScatterGather:
+		return float64(f.Width) + 2
+	case FacRandomDAG:
+		return float64(f.Layers) * (1 + float64(f.Width)) / 2
+	}
+	return 1
+}
+
+// ---------------------------------------------------------------------
+// Placer axis
+// ---------------------------------------------------------------------
+
+// PlacerKind selects a placement policy (and, for the pool policies,
+// its controller) from the registry.
+type PlacerKind int
+
+// Placer kinds.
+const (
+	PlLeastLoaded PlacerKind = iota
+	PlRoundRobin
+	PlPackFirst
+	PlRandom
+	PlNetworkAware
+	PlAdaptivePool
+	PlProvisioner
+	PlDualTimer
+)
+
+// PlacerSpec declares the placement/power-management policy.
+type PlacerSpec struct {
+	Kind PlacerKind
+	// TauSec parameterizes the pool policies' delay timers.
+	TauSec float64
+}
+
+// String implements fmt.Stringer.
+func (p PlacerSpec) String() string {
+	switch p.Kind {
+	case PlRoundRobin:
+		return "roundrobin"
+	case PlPackFirst:
+		return "packfirst"
+	case PlRandom:
+		return "random"
+	case PlNetworkAware:
+		return "netaware"
+	case PlAdaptivePool:
+		return "adaptive"
+	case PlProvisioner:
+		return "provisioner"
+	case PlDualTimer:
+		return "dualtimer"
+	}
+	return "leastloaded"
+}
+
+// needsNetwork reports whether the policy requires a live network.
+func (p PlacerSpec) needsNetwork() bool { return p.Kind == PlNetworkAware }
+
+// apply wires the policy into the config. r must derive only from the
+// scenario seed.
+func (p PlacerSpec) apply(cfg *core.Config, servers int, r *rng.Source) error {
+	tau := simtime.FromSeconds(p.TauSec)
+	if tau <= 0 {
+		tau = 200 * simtime.Millisecond
+	}
+	switch p.Kind {
+	case PlLeastLoaded:
+		cfg.Placer = sched.LeastLoaded{}
+	case PlRoundRobin:
+		cfg.Placer = sched.RoundRobin{}
+	case PlPackFirst:
+		cfg.Placer = sched.PackFirst{}
+	case PlRandom:
+		src := r.Split("placer/random")
+		cfg.Placer = sched.Random{Next: src.IntN}
+	case PlNetworkAware:
+		cfg.PlacerFor = func(net *network.Network, hostOf sched.HostMapper) sched.Placer {
+			return sched.NetworkAware{Net: net, HostOf: hostOf, Frontend: 0}
+		}
+	case PlAdaptivePool:
+		pool := sched.NewAdaptivePool(3, 1, tau)
+		cfg.Placer = pool
+		cfg.Controller = pool
+	case PlProvisioner:
+		prov := sched.NewProvisioner(0.5, 3)
+		cfg.Placer = prov
+		cfg.Controller = prov
+	case PlDualTimer:
+		high := servers / 2
+		if high < 1 {
+			high = 1
+		}
+		d := sched.NewDualTimer(high, tau, tau*4)
+		cfg.Placer = d
+		cfg.Controller = d
+	default:
+		return fmt.Errorf("scenario: unknown placer kind %d", p.Kind)
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------
+// Server axis
+// ---------------------------------------------------------------------
+
+// ProfileKind selects a server power profile.
+type ProfileKind int
+
+// Server profiles.
+const (
+	ProfFourCore ProfileKind = iota
+	ProfXeon10
+	ProfDualSocket
+)
+
+func (p ProfileKind) profile() *power.ServerProfile {
+	switch p {
+	case ProfXeon10:
+		return power.XeonE5_2680()
+	case ProfDualSocket:
+		return power.DualSocketXeon()
+	}
+	return power.FourCoreServer()
+}
+
+// String implements fmt.Stringer.
+func (p ProfileKind) String() string {
+	switch p {
+	case ProfXeon10:
+		return "xeon10"
+	case ProfDualSocket:
+		return "dual20"
+	}
+	return "4core"
+}
+
+// ---------------------------------------------------------------------
+// Scenario
+// ---------------------------------------------------------------------
+
+// Scenario is one declarative simulation configuration: plain data,
+// expandable by Axes, drawable by Random, mutable by fuzzers.
+type Scenario struct {
+	Seed uint64
+
+	Topology TopologySpec
+	Comm     core.CommMode
+
+	Servers       int
+	Profile       ProfileKind
+	Queue         server.QueueMode
+	DelayTimerSec float64 // < 0 disables the server delay timer
+	Heterogeneous bool    // odd servers get a fast/slow core-speed mix
+	DVFS          bool    // per-server ondemand DVFS governors
+
+	Placer      PlacerSpec
+	GlobalQueue bool
+
+	Arrival ArrivalSpec
+	Factory FactorySpec
+
+	// Horizon: at least one must be set (or a trace arrival bounds the
+	// run by itself).
+	MaxJobs     int64
+	DurationSec float64
+
+	// SwitchSleepSec < 0 disables line-card sleep.
+	SwitchSleepSec float64
+
+	// CheckStationary enables the statistical Little's-law check.
+	CheckStationary bool
+}
+
+// Name composes a stable human-readable identifier.
+func (s Scenario) Name() string {
+	return fmt.Sprintf("%s/%s/%s/%s/%s/%s/q%d", s.Topology, s.Comm, s.Placer,
+		s.Arrival, s.Factory, s.Profile, int(s.Queue))
+}
+
+// Validate reports whether the scenario composes a legal configuration.
+func (s Scenario) Validate() error {
+	if s.Servers < 1 {
+		return fmt.Errorf("scenario: %d servers", s.Servers)
+	}
+	if s.Topology.Kind == TopoNone {
+		if s.Comm != core.CommNone {
+			return fmt.Errorf("scenario: comm mode %v without a topology", s.Comm)
+		}
+		if s.Placer.needsNetwork() {
+			return fmt.Errorf("scenario: placer %v without a topology", s.Placer)
+		}
+	} else if hosts := s.Topology.Hosts(); s.Servers > hosts {
+		return fmt.Errorf("scenario: %d servers exceed %s's %d hosts", s.Servers, s.Topology, hosts)
+	}
+	isTrace := s.Arrival.Kind == ArrTraceWiki || s.Arrival.Kind == ArrTraceNLANR
+	if s.MaxJobs <= 0 && s.DurationSec <= 0 && !isTrace {
+		return fmt.Errorf("scenario: unbounded horizon")
+	}
+	if s.DVFS && s.DurationSec <= 0 {
+		// The governor re-arms its tick forever; only a time horizon
+		// terminates such a run.
+		return fmt.Errorf("scenario: DVFS requires a duration horizon")
+	}
+	if s.Arrival.Rho <= 0 || s.Arrival.Rho >= 1.5 {
+		return fmt.Errorf("scenario: utilization %g out of range", s.Arrival.Rho)
+	}
+	return nil
+}
+
+// Config assembles the core configuration. The result is a pure
+// function of the scenario value (all randomness derives from Seed).
+func (s Scenario) Config() (core.Config, error) {
+	if err := s.Validate(); err != nil {
+		return core.Config{}, err
+	}
+	prof := s.Profile.profile()
+	sc := server.DefaultConfig(prof)
+	sc.QueueMode = s.Queue
+	if s.DelayTimerSec >= 0 {
+		sc.DelayTimerEnabled = true
+		sc.DelayTimer = simtime.FromSeconds(s.DelayTimerSec)
+	}
+	cfg := core.Config{
+		Seed:            s.Seed,
+		Servers:         s.Servers,
+		ServerConfig:    sc,
+		UseGlobalQueue:  s.GlobalQueue,
+		MaxJobs:         s.MaxJobs,
+		Duration:        simtime.FromSeconds(s.DurationSec),
+		Check:           true,
+		CheckStationary: s.CheckStationary,
+	}
+	if s.Heterogeneous {
+		cores := prof.Cores
+		mix := make([]float64, cores)
+		for i := range mix {
+			if i < cores/2 {
+				mix[i] = 1.25
+			} else {
+				mix[i] = 0.8
+			}
+		}
+		cfg.ConfigureServer = func(i int, c *server.Config) {
+			if i%2 == 1 {
+				c.CoreSpeeds = mix
+			}
+		}
+	}
+	if s.Topology.Kind != TopoNone {
+		cfg.Topology = s.Topology.Builder()
+		ports := s.Topology.MaxSwitchDegree()
+		var swProf *power.SwitchProfile
+		if ports > 0 {
+			swProf = power.DataCenter10G(ports)
+		}
+		ncfg := network.DefaultConfig(swProf)
+		if s.SwitchSleepSec >= 0 {
+			ncfg.SwitchSleepIdle = simtime.FromSeconds(s.SwitchSleepSec)
+		} else {
+			ncfg.SwitchSleepIdle = -1
+		}
+		cfg.NetworkConfig = ncfg
+		cfg.CommMode = s.Comm
+	}
+	// All scenario-level randomness (trace synthesis, the random
+	// placer) splits off one master stream per seed, disjoint from the
+	// core's own "workload" stream by label.
+	master := rng.New(s.Seed).Split("scenario")
+	if err := s.Placer.apply(&cfg, s.Servers, master); err != nil {
+		return core.Config{}, err
+	}
+	cores := prof.Cores
+	rate := workload.UtilizationRate(s.Arrival.Rho, s.Servers, cores,
+		s.Factory.Service.sampler().Mean()*s.Factory.meanTasksPerJob())
+	proc, err := s.Arrival.process(rate, master)
+	if err != nil {
+		return core.Config{}, err
+	}
+	cfg.Arrivals = proc
+	factory, err := s.Factory.factory()
+	if err != nil {
+		return core.Config{}, err
+	}
+	cfg.Factory = factory
+	return cfg, nil
+}
+
+// Build constructs the data center (invariant checking always on).
+func (s Scenario) Build() (*core.DataCenter, error) {
+	cfg, err := s.Config()
+	if err != nil {
+		return nil, err
+	}
+	dc, err := core.Build(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("scenario %s: %w", s.Name(), err)
+	}
+	if s.DVFS {
+		for _, srv := range dc.Servers {
+			server.NewDVFSGovernor(srv).Start()
+		}
+	}
+	return dc, nil
+}
+
+// Result is one scenario run's outcome.
+type Result struct {
+	Scenario   Scenario
+	Results    *core.Results
+	Violations []invariant.Violation
+}
+
+// Run builds and executes the scenario. The returned error covers both
+// construction failures and invariant violations; Result.Violations
+// carries the latter in structured form.
+func (s Scenario) Run() (Result, error) {
+	dc, err := s.Build()
+	if err != nil {
+		return Result{Scenario: s}, err
+	}
+	res, err := dc.Run()
+	out := Result{Scenario: s, Results: res}
+	if c := dc.Checker(); c != nil {
+		out.Violations = c.Violations()
+	}
+	if err != nil {
+		return out, fmt.Errorf("scenario %s: %w", s.Name(), err)
+	}
+	return out, nil
+}

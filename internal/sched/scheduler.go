@@ -70,7 +70,12 @@ type Scheduler struct {
 
 	globalQ []*job.Task
 
-	onJobDone func(*job.Job)
+	// Observation-only subscriber lists. Nil slices cost one empty range
+	// per event, so an unobserved scheduler pays nothing (the invariant
+	// checker and metrics collection attach here).
+	onJobArrived []func(*job.Job)
+	onJobDone    []func(*job.Job)
+	onDispatch   []func(*server.Server, *job.Task)
 
 	// rrNext is shared iteration state for the round-robin placer.
 	rrNext int
@@ -109,6 +114,9 @@ func New(eng *engine.Engine, servers []*server.Server, cfg Config) (*Scheduler, 
 	for _, srv := range servers {
 		srv.OnTaskDone(s.taskDone)
 	}
+	if cfg.OnDispatch != nil {
+		s.onDispatch = append(s.onDispatch, cfg.OnDispatch)
+	}
 	return s, nil
 }
 
@@ -118,8 +126,21 @@ func (s *Scheduler) Engine() *engine.Engine { return s.eng }
 // Servers lists the managed servers.
 func (s *Scheduler) Servers() []*server.Server { return s.servers }
 
-// OnJobDone registers the completion callback (metrics collection).
-func (s *Scheduler) OnJobDone(fn func(*job.Job)) { s.onJobDone = fn }
+// OnJobDone subscribes a job-completion callback (metrics collection,
+// invariant probes). Subscribers run in registration order.
+func (s *Scheduler) OnJobDone(fn func(*job.Job)) { s.onJobDone = append(s.onJobDone, fn) }
+
+// OnJobArrived subscribes a job-admission callback, invoked after the
+// job is counted in-system but before any task is placed.
+func (s *Scheduler) OnJobArrived(fn func(*job.Job)) {
+	s.onJobArrived = append(s.onJobArrived, fn)
+}
+
+// OnDispatch subscribes a task-dispatch callback, invoked for every task
+// handed to a server (after any Config.OnDispatch hook).
+func (s *Scheduler) OnDispatch(fn func(*server.Server, *job.Task)) {
+	s.onDispatch = append(s.onDispatch, fn)
+}
 
 // JobsInSystem reports jobs admitted but not yet completed — the load
 // estimator signal of Sec. IV-C.
@@ -130,6 +151,14 @@ func (s *Scheduler) JobsCompleted() int64 { return s.jobsCompleted }
 
 // GlobalQueueLen reports tasks parked in the global queue.
 func (s *Scheduler) GlobalQueueLen() int { return len(s.globalQ) }
+
+// TasksDispatched reports tasks submitted to servers so far.
+func (s *Scheduler) TasksDispatched() int64 { return s.jobsDispatched }
+
+// Committed reports the raw committed-task counter for one server —
+// placed but not yet finished. Exposed for invariant checking: unlike
+// Load, it is not clamped against the server's own pending count.
+func (s *Scheduler) Committed(serverID int) int { return s.committed[serverID] }
 
 // LoadPerServer reports jobs in system divided by the candidate pool
 // size (the provisioning and adaptive policies' load metric).
@@ -168,6 +197,9 @@ func (s *Scheduler) Eligible(t *job.Task) []*server.Server {
 // Sec. IV-D), root tasks are dispatched, and the controller is notified.
 func (s *Scheduler) JobArrived(j *job.Job) {
 	s.jobsInSystem++
+	for _, fn := range s.onJobArrived {
+		fn(j)
+	}
 	if s.cfg.Controller != nil {
 		s.cfg.Controller.OnJobArrival(s, j)
 	}
@@ -235,8 +267,8 @@ func (s *Scheduler) availableServer(t *job.Task) *server.Server {
 // submit hands the task to the server's local scheduler.
 func (s *Scheduler) submit(srv *server.Server, t *job.Task) {
 	s.jobsDispatched++
-	if s.cfg.OnDispatch != nil {
-		s.cfg.OnDispatch(srv, t)
+	for _, fn := range s.onDispatch {
+		fn(srv, t)
 	}
 	srv.Submit(t)
 }
@@ -252,8 +284,8 @@ func (s *Scheduler) taskDone(srv *server.Server, t *job.Task) {
 	if j.TaskFinished(t, now) {
 		s.jobsInSystem--
 		s.jobsCompleted++
-		if s.onJobDone != nil {
-			s.onJobDone(j)
+		for _, fn := range s.onJobDone {
+			fn(j)
 		}
 	}
 	// Push outputs toward dependent tasks.

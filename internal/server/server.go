@@ -108,6 +108,10 @@ func (s *Server) Core(i int) *Core { return s.cores[i] }
 // (empty = any).
 func (s *Server) Kinds() []string { return s.cfg.Kinds }
 
+// Profile exposes the server's power profile (read-only; used for
+// physics-bound checks and reporting).
+func (s *Server) Profile() *power.ServerProfile { return s.prof }
+
 // OnTaskDone subscribes a completion callback invoked when any task
 // finishes on this server. The scheduler registers first (DAG and job
 // bookkeeping); additional subscribers (traffic hooks, probes) run after

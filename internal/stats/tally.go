@@ -81,11 +81,22 @@ func (t *Tally) Variance() float64 {
 // StdDev reports the sample standard deviation.
 func (t *Tally) StdDev() float64 { return math.Sqrt(t.Variance()) }
 
-// Min reports the smallest sample (+Inf when empty).
-func (t *Tally) Min() float64 { return t.min }
+// Min reports the smallest sample (0 when empty, like Mean — empty
+// tallies render as zeros, never as ±Inf/NaN, in summary tables).
+func (t *Tally) Min() float64 {
+	if t.n == 0 {
+		return 0
+	}
+	return t.min
+}
 
-// Max reports the largest sample (-Inf when empty).
-func (t *Tally) Max() float64 { return t.max }
+// Max reports the largest sample (0 when empty).
+func (t *Tally) Max() float64 {
+	if t.n == 0 {
+		return 0
+	}
+	return t.max
+}
 
 // Sum reports the total of all samples.
 func (t *Tally) Sum() float64 { return t.mean * float64(t.n) }
@@ -101,7 +112,7 @@ func (t *Tally) Percentile(p float64) float64 {
 		return 0
 	}
 	s := t.sorted()
-	if p <= 0 {
+	if !(p > 0) { // includes NaN: degenerate p never indexes out of range
 		return s[0]
 	}
 	if p >= 100 {
@@ -141,7 +152,7 @@ func (t *Tally) CDF(points int) []CDFPoint {
 // String summarizes the tally.
 func (t *Tally) String() string {
 	return fmt.Sprintf("%s: n=%d mean=%.6g sd=%.6g min=%.6g max=%.6g",
-		t.name, t.n, t.Mean(), t.StdDev(), t.min, t.max)
+		t.name, t.n, t.Mean(), t.StdDev(), t.Min(), t.Max())
 }
 
 // sorted returns the retained samples in ascending order. Percentile and

@@ -24,6 +24,12 @@ type Star struct {
 // Name implements Topology.
 func (s Star) Name() string { return fmt.Sprintf("star-%d", s.Hosts) }
 
+// NumHosts reports the declared host count.
+func (s Star) NumHosts() int { return s.Hosts }
+
+// NumSwitches reports the single central switch.
+func (s Star) NumSwitches() int { return 1 }
+
 // Build implements Topology.
 func (s Star) Build() (*Graph, error) {
 	if s.Hosts < 1 {
@@ -149,6 +155,9 @@ func (b BCube) NumHosts() int {
 	return n
 }
 
+// NumSwitches reports (k+1)·n^k: k+1 levels of n^k switches each.
+func (b BCube) NumSwitches() int { return (b.K + 1) * b.NumHosts() / b.N }
+
 // Build implements Topology.
 func (b BCube) Build() (*Graph, error) {
 	if b.N < 2 || b.K < 0 {
@@ -203,6 +212,12 @@ type CamCube struct {
 
 // Name implements Topology.
 func (c CamCube) Name() string { return fmt.Sprintf("camcube-%dx%dx%d", c.X, c.Y, c.Z) }
+
+// NumHosts reports X·Y·Z.
+func (c CamCube) NumHosts() int { return c.X * c.Y * c.Z }
+
+// NumSwitches reports zero: CamCube is server-only.
+func (c CamCube) NumSwitches() int { return 0 }
 
 // Build implements Topology.
 func (c CamCube) Build() (*Graph, error) {
@@ -263,6 +278,12 @@ type FlattenedButterfly struct {
 func (f FlattenedButterfly) Name() string {
 	return fmt.Sprintf("flatbutterfly-%dx%dx%d", f.Rows, f.Cols, f.Concentration)
 }
+
+// NumHosts reports Rows·Cols·Concentration.
+func (f FlattenedButterfly) NumHosts() int { return f.Rows * f.Cols * f.Concentration }
+
+// NumSwitches reports the Rows·Cols router grid.
+func (f FlattenedButterfly) NumSwitches() int { return f.Rows * f.Cols }
 
 // Build implements Topology.
 func (f FlattenedButterfly) Build() (*Graph, error) {

@@ -1,0 +1,125 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+// FuzzTraceRead: for arbitrary input text, Read either returns an error
+// (never panics) or yields a trace whose Write→Read round trip is the
+// identity. The first Write normalizes precision to 6 decimals; from
+// then on the representation must be a fixed point.
+func FuzzTraceRead(f *testing.F) {
+	f.Add("")
+	f.Add("0\n1\n2\n")
+	f.Add("# comment\n\n0.5\n0.500001\n")
+	f.Add("1e300\n")
+	f.Add("0.1\nnot a number\n")
+	f.Add("NaN\n")
+	f.Add("+Inf\n")
+	f.Add("3\n2\n1\n")
+	f.Add("-1\n")
+	f.Add("1e-9\n2e-9\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		tr, err := Read(strings.NewReader(input))
+		if err != nil {
+			return // malformed input must error, and it did — cleanly
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("Read returned an invalid trace: %v", err)
+		}
+		var first bytes.Buffer
+		if err := tr.Write(&first); err != nil {
+			t.Fatalf("Write: %v", err)
+		}
+		tr2, err := Read(bytes.NewReader(first.Bytes()))
+		if err != nil {
+			t.Fatalf("reparse of own output failed: %v\noutput:\n%s", err, first.String())
+		}
+		if tr2.Len() != tr.Len() {
+			t.Fatalf("round trip changed length: %d -> %d", tr.Len(), tr2.Len())
+		}
+		var second bytes.Buffer
+		if err := tr2.Write(&second); err != nil {
+			t.Fatalf("second Write: %v", err)
+		}
+		if !bytes.Equal(first.Bytes(), second.Bytes()) {
+			t.Fatalf("Write/Read is not a fixed point:\nfirst:\n%s\nsecond:\n%s",
+				first.String(), second.String())
+		}
+	})
+}
+
+func TestReadRejectsNonFinite(t *testing.T) {
+	for _, in := range []string{"NaN\n", "+Inf\n", "-Inf\n", "Infinity\n", "0\nnan\n"} {
+		if _, err := Read(strings.NewReader(in)); err == nil {
+			t.Errorf("Read(%q) accepted a non-finite timestamp", in)
+		}
+	}
+}
+
+func TestValidateRejectsNonFinite(t *testing.T) {
+	for _, bad := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		tr := &Trace{Times: []float64{0, bad}}
+		if err := tr.Validate(); err == nil {
+			t.Errorf("Validate accepted %g", bad)
+		}
+	}
+}
+
+func TestClipEdgeCases(t *testing.T) {
+	empty := &Trace{}
+	if got := empty.Clip(0, 10); got.Len() != 0 {
+		t.Errorf("Clip of empty trace has %d events", got.Len())
+	}
+	single := &Trace{Times: []float64{5}}
+	cases := []struct {
+		from, to float64
+		want     int
+	}{
+		{0, 10, 1},    // window covers the event
+		{5, 5.1, 1},   // from is inclusive
+		{0, 5, 0},     // to is exclusive
+		{6, 10, 0},    // window after the event
+		{10, 0, 0},    // inverted window: empty, not a panic
+		{5.1, 5.1, 0}, // empty window
+	}
+	for _, tc := range cases {
+		got := single.Clip(tc.from, tc.to)
+		if got.Len() != tc.want {
+			t.Errorf("Clip(%g, %g) has %d events, want %d", tc.from, tc.to, got.Len(), tc.want)
+		}
+		if err := got.Validate(); err != nil {
+			t.Errorf("Clip(%g, %g) produced invalid trace: %v", tc.from, tc.to, err)
+		}
+	}
+	// Rebasing: the window start becomes t=0.
+	if got := single.Clip(4, 6); got.Len() != 1 || got.Times[0] != 1 {
+		t.Errorf("Clip(4, 6) = %v, want [1]", got.Times)
+	}
+}
+
+func TestScaleEdgeCases(t *testing.T) {
+	empty := &Trace{}
+	empty.Scale(2) // no-op, no panic
+	if empty.Len() != 0 {
+		t.Fatal("Scale changed an empty trace")
+	}
+	single := &Trace{Times: []float64{3}}
+	single.Scale(0.5)
+	if single.Times[0] != 1.5 {
+		t.Errorf("Scale(0.5) = %v, want [1.5]", single.Times)
+	}
+	for _, bad := range []float64{0, -1, math.NaN(), math.Inf(1)} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Scale(%g) did not panic", bad)
+				}
+			}()
+			(&Trace{Times: []float64{1}}).Scale(bad)
+		}()
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"strconv"
 	"strings"
@@ -51,10 +52,16 @@ func (t *Trace) MeanRate() float64 {
 	return float64(len(t.Times)) / d
 }
 
-// Validate checks that timestamps are nonnegative and nondecreasing.
+// Validate checks that timestamps are finite, nonnegative and
+// nondecreasing. (NaN compares false against everything, so without an
+// explicit finiteness check a NaN timestamp would slip through the
+// ordering tests and corrupt replay arithmetic downstream.)
 func (t *Trace) Validate() error {
 	prev := 0.0
 	for i, x := range t.Times {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return fmt.Errorf("trace: non-finite timestamp %g at index %d", x, i)
+		}
 		if x < 0 {
 			return fmt.Errorf("trace: negative timestamp %g at index %d", x, i)
 		}
@@ -66,11 +73,11 @@ func (t *Trace) Validate() error {
 	return nil
 }
 
-// Scale multiplies every timestamp by f (> 0), stretching (f > 1) or
-// compressing (f < 1) the trace to retune its average load.
+// Scale multiplies every timestamp by f (finite, > 0), stretching
+// (f > 1) or compressing (f < 1) the trace to retune its average load.
 func (t *Trace) Scale(f float64) {
-	if f <= 0 {
-		panic("trace: non-positive scale factor")
+	if f <= 0 || math.IsNaN(f) || math.IsInf(f, 0) {
+		panic("trace: scale factor must be finite and positive")
 	}
 	for i := range t.Times {
 		t.Times[i] *= f
@@ -78,10 +85,14 @@ func (t *Trace) Scale(f float64) {
 }
 
 // Clip returns a new Trace containing arrivals in [from, to), rebased so
-// the window starts at 0.
+// the window starts at 0. An empty or inverted window yields an empty
+// trace.
 func (t *Trace) Clip(from, to float64) *Trace {
 	lo := sort.SearchFloat64s(t.Times, from)
 	hi := sort.SearchFloat64s(t.Times, to)
+	if hi < lo {
+		hi = lo
+	}
 	out := make([]float64, hi-lo)
 	for i, x := range t.Times[lo:hi] {
 		out[i] = x - from
