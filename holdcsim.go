@@ -37,6 +37,7 @@ import (
 	"holdcsim/internal/core"
 	"holdcsim/internal/dist"
 	"holdcsim/internal/engine"
+	"holdcsim/internal/fault"
 	"holdcsim/internal/job"
 	"holdcsim/internal/network"
 	"holdcsim/internal/power"
@@ -276,6 +277,32 @@ func NewDualTimer(highCount int, tauHigh, tauLow Time) *DualTimer {
 func NewAdaptivePool(tWakeup, tSleep float64, tau Time) *AdaptivePool {
 	return sched.NewAdaptivePool(tWakeup, tSleep, tau)
 }
+
+// Fault injection (internal/fault, internal/sched).
+type (
+	// FaultSpec declares a seed-derived failure workload: server
+	// crash/recover, link flap, switch death. Set Config.Faults to
+	// attach it.
+	FaultSpec = fault.Spec
+	// FaultTimeline is a concrete time-ordered fault schedule.
+	FaultTimeline = fault.Timeline
+	// FaultLedger is the injector's independent account of applied
+	// faults and lost work (Results.Faults).
+	FaultLedger = fault.Ledger
+	// OrphanPolicy selects what happens to tasks stranded by a crash.
+	OrphanPolicy = sched.OrphanPolicy
+	// AllDownError is the typed placement error when every eligible
+	// server is down.
+	AllDownError = sched.AllDownError
+)
+
+// Orphan policies for FaultSpec.Orphans.
+const (
+	// OrphanRequeue restarts stranded tasks on alive servers.
+	OrphanRequeue = sched.OrphanRequeue
+	// OrphanDrop retracts the whole job of any stranded task.
+	OrphanDrop = sched.OrphanDrop
+)
 
 // Workloads (internal/workload, internal/dist, internal/trace, internal/job).
 type (

@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"holdcsim/internal/engine"
+	"holdcsim/internal/fault"
 	"holdcsim/internal/invariant"
 	"holdcsim/internal/job"
 	"holdcsim/internal/network"
@@ -94,6 +95,15 @@ type Config struct {
 	// at this interval (the paper's 1 Hz power logging).
 	SamplePower simtime.Time
 
+	// Faults, when non-nil, attaches the fault injector
+	// (internal/fault): a deterministic, seed-derived timeline of server
+	// crashes, link flaps, and switch deaths is scheduled through the
+	// engine, with the spec's orphan policy governing stranded tasks. A
+	// non-nil spec with zero events still attaches the (empty) injector
+	// and ledger — the differential fault suite relies on that being
+	// output-invisible. Nil leaves the fault machinery entirely unwired.
+	Faults *fault.Spec
+
 	// Check attaches a runtime invariant checker (internal/invariant):
 	// conservation laws are verified at dispatch boundaries during the
 	// run and in full at the end of Run, which then returns an error if
@@ -116,10 +126,11 @@ type DataCenter struct {
 	Sched   *sched.Scheduler
 	Gen     *workload.Generator
 
-	cfg     Config
-	rng     *rng.Source
-	hostOf  []topology.NodeID
-	checker *invariant.Checker // nil unless cfg.Check
+	cfg      Config
+	rng      *rng.Source
+	hostOf   []topology.NodeID
+	checker  *invariant.Checker // nil unless cfg.Check
+	injector *fault.Injector    // nil unless cfg.Faults
 
 	latency  *stats.Tally
 	srvPower *stats.PowerSampler
@@ -215,13 +226,17 @@ func Build(cfg Config) (*DataCenter, error) {
 		}
 		placer = cfg.PlacerFor(dc.Net, func(id int) topology.NodeID { return dc.hostOf[id] })
 	}
-	s, err := sched.New(eng, dc.Servers, sched.Config{
+	scfg := sched.Config{
 		Placer:         placer,
 		Controller:     cfg.Controller,
 		UseGlobalQueue: cfg.UseGlobalQueue,
 		Transfer:       transfer,
 		OnDispatch:     cfg.OnDispatch,
-	})
+	}
+	if cfg.Faults != nil {
+		scfg.Orphans = cfg.Faults.Orphans
+	}
+	s, err := sched.New(eng, dc.Servers, scfg)
 	if err != nil {
 		return nil, err
 	}
@@ -240,10 +255,37 @@ func Build(cfg Config) (*DataCenter, error) {
 		dc.Gen.Until = cfg.Duration
 	}
 
+	// Fault injection. The timeline derives from a dedicated rng stream
+	// split off the master only when faults are configured, so fault-free
+	// runs consume exactly the pre-fault draws.
+	if cfg.Faults != nil {
+		spec := *cfg.Faults
+		if err := spec.Validate(); err != nil {
+			return nil, err
+		}
+		horizon := spec.HorizonSec
+		if horizon <= 0 {
+			horizon = cfg.Duration.Seconds()
+		}
+		if horizon <= 0 && !spec.Empty() {
+			return nil, fmt.Errorf("core: fault spec needs a horizon (set Spec.HorizonSec or Duration)")
+		}
+		links, switches := 0, 0
+		if dc.Net != nil {
+			links = dc.Net.NumLinks()
+			switches = len(dc.Net.Switches())
+		}
+		tl := spec.Timeline(master.Split("faults"), horizon, cfg.Servers, links, switches)
+		dc.injector = fault.Attach(eng, tl, s, dc.Servers, dc.Net)
+	}
+
 	// Invariant checking.
 	if cfg.Check {
-		dc.checker = invariant.Attach(eng, dc.Gen, s, dc.Servers, dc.Net,
-			invariant.Options{Stationary: cfg.CheckStationary})
+		opts := invariant.Options{Stationary: cfg.CheckStationary}
+		if dc.injector != nil {
+			opts.LostJobsLedger = dc.injector.JobsLost
+		}
+		dc.checker = invariant.Attach(eng, dc.Gen, s, dc.Servers, dc.Net, opts)
 	}
 
 	// Power sampling.
@@ -300,6 +342,7 @@ func (dc *DataCenter) Run() (*Results, error) {
 			End:               r.End,
 			JobsGenerated:     r.JobsGenerated,
 			JobsCompleted:     r.JobsCompleted,
+			JobsLost:          r.JobsLost,
 			ServerEnergyJ:     r.ServerEnergyJ,
 			CPUEnergyJ:        r.CPUEnergyJ,
 			DRAMEnergyJ:       r.DRAMEnergyJ,
@@ -320,6 +363,10 @@ func (dc *DataCenter) Run() (*Results, error) {
 // config enabled Check).
 func (dc *DataCenter) Checker() *invariant.Checker { return dc.checker }
 
+// Injector exposes the attached fault injector (nil unless the config
+// set Faults).
+func (dc *DataCenter) Injector() *fault.Injector { return dc.injector }
+
 // Collect snapshots results at the current virtual time. It may be
 // called repeatedly (e.g. per sweep point when reusing a data center).
 func (dc *DataCenter) Collect() *Results {
@@ -328,9 +375,15 @@ func (dc *DataCenter) Collect() *Results {
 		End:           end,
 		JobsGenerated: dc.Gen.Generated(),
 		JobsCompleted: dc.Sched.JobsCompleted(),
+		JobsLost:      dc.Sched.JobsLost(),
+		TasksAborted:  dc.Sched.TasksAborted(),
 		Latency:       dc.latency,
 		PerServer:     make([]ServerEnergy, len(dc.Servers)),
 		Residency:     make(map[string]float64),
+	}
+	if dc.injector != nil {
+		ledger := dc.injector.Ledger()
+		r.Faults = &ledger
 	}
 	resTotals := make(map[string]float64)
 	for i, s := range dc.Servers {
@@ -383,6 +436,13 @@ type Results struct {
 	End           simtime.Time
 	JobsGenerated int64
 	JobsCompleted int64
+	// JobsLost counts jobs retracted by failures (server crash under a
+	// drop policy, or arrival with no alive server). TasksAborted counts
+	// dispatched task incarnations retracted before finishing.
+	JobsLost     int64
+	TasksAborted int64
+	// Faults snapshots the injector's ledger (nil without fault config).
+	Faults *fault.Ledger
 
 	// Latency holds per-job sojourn times in seconds (post-warmup).
 	Latency *stats.Tally
@@ -410,10 +470,16 @@ type Results struct {
 	NetworkPowerSeries *stats.PowerSampler
 }
 
-// String renders a one-line summary.
+// String renders a one-line summary. The lost-jobs figure appears only
+// when failures actually retracted work, so fault-free summaries render
+// exactly as before.
 func (r *Results) String() string {
-	return fmt.Sprintf("jobs=%d/%d mean=%.4gms p95=%.4gms p99=%.4gms energy=%.4gkJ meanPower=%.4gW",
-		r.JobsCompleted, r.JobsGenerated,
+	lost := ""
+	if r.JobsLost > 0 {
+		lost = fmt.Sprintf(" lost=%d", r.JobsLost)
+	}
+	return fmt.Sprintf("jobs=%d/%d%s mean=%.4gms p95=%.4gms p99=%.4gms energy=%.4gkJ meanPower=%.4gW",
+		r.JobsCompleted, r.JobsGenerated, lost,
 		r.Latency.Mean()*1e3, r.Latency.Percentile(95)*1e3, r.Latency.Percentile(99)*1e3,
 		r.ServerEnergyJ/1e3, r.MeanServerPowerW)
 }

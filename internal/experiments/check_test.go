@@ -16,7 +16,7 @@ func TestInvariantCheckQuickPresets(t *testing.T) {
 	for _, c := range goldenCases() {
 		c := c
 		t.Run(c.name, func(t *testing.T) {
-			got, err := c.run(runner.Options{}, true)
+			got, err := c.run(runner.Options{}, true, nil)
 			if err != nil {
 				t.Fatalf("invariant violation in %s: %v", c.name, err)
 			}

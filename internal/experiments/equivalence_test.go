@@ -21,7 +21,7 @@ func TestWorkerCountEquivalence(t *testing.T) {
 		t.Run(c.name, func(t *testing.T) {
 			var want string
 			for _, w := range counts {
-				got, err := c.run(runner.Options{Workers: w}, false)
+				got, err := c.run(runner.Options{Workers: w}, false, nil)
 				if err != nil {
 					t.Fatalf("workers=%d: %v", w, err)
 				}

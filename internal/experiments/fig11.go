@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"holdcsim/internal/core"
+	"holdcsim/internal/fault"
 	"holdcsim/internal/network"
 	"holdcsim/internal/power"
 	"holdcsim/internal/runner"
@@ -41,6 +42,11 @@ type Fig11Params struct {
 	// Check enables runtime invariant checking on every simulation
 	// (internal/invariant): a violated conservation law fails the run.
 	Check bool
+	// Faults optionally attaches the fault injector (internal/fault)
+	// to every simulation in the experiment. Nil leaves the fault
+	// machinery unwired; a non-nil empty spec attaches an empty
+	// timeline (the differential fault suite's probe).
+	Faults *fault.Spec
 }
 
 // DefaultFig11 mirrors the paper: fat-tree k=4 (16 hosts), 2000 jobs,
@@ -243,6 +249,7 @@ func fig11Run(p Fig11Params, rho float64, networkAware bool, seed uint64) (Fig11
 	cfg := core.Config{
 		Seed:          seed,
 		Check:         p.Check,
+		Faults:        p.Faults,
 		Servers:       nHosts,
 		ServerConfig:  sc,
 		Topology:      topo,

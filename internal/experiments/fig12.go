@@ -5,6 +5,7 @@ import (
 
 	"holdcsim/internal/core"
 	"holdcsim/internal/dist"
+	"holdcsim/internal/fault"
 	"holdcsim/internal/power"
 	"holdcsim/internal/rng"
 	"holdcsim/internal/runner"
@@ -34,6 +35,11 @@ type Fig12Params struct {
 	// Check enables runtime invariant checking on every simulation
 	// (internal/invariant): a violated conservation law fails the run.
 	Check bool
+	// Faults optionally attaches the fault injector (internal/fault)
+	// to every simulation in the experiment. Nil leaves the fault
+	// machinery unwired; a non-nil empty spec attaches an empty
+	// timeline (the differential fault suite's probe).
+	Faults *fault.Spec
 }
 
 // DefaultFig12 mirrors the paper's 1000-second window (Fig. 12 shows
@@ -105,6 +111,7 @@ func fig12Run(p Fig12Params, seed uint64) (*Fig12Result, error) {
 	cfg := core.Config{
 		Seed:         seed,
 		Check:        p.Check,
+		Faults:       p.Faults,
 		Servers:      1,
 		ServerConfig: sc,
 		Placer:       sched.LeastLoaded{},

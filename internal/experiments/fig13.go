@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"holdcsim/internal/core"
+	"holdcsim/internal/fault"
 	"holdcsim/internal/job"
 	"holdcsim/internal/network"
 	"holdcsim/internal/power"
@@ -45,6 +46,11 @@ type Fig13Params struct {
 	// Check enables runtime invariant checking on every simulation
 	// (internal/invariant): a violated conservation law fails the run.
 	Check bool
+	// Faults optionally attaches the fault injector (internal/fault)
+	// to every simulation in the experiment. Nil leaves the fault
+	// machinery unwired; a non-nil empty spec attaches an empty
+	// timeline (the differential fault suite's probe).
+	Faults *fault.Spec
 }
 
 // DefaultFig13 mirrors the paper's 2-hour validation.
@@ -122,6 +128,7 @@ func fig13Run(p Fig13Params, seed uint64) (*Fig13Result, error) {
 	cfg := core.Config{
 		Seed:          seed,
 		Check:         p.Check,
+		Faults:        p.Faults,
 		Servers:       p.Servers,
 		ServerConfig:  sc,
 		Topology:      topology.Star{Hosts: p.Servers + 1, RateBps: 1e9},

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"holdcsim/internal/core"
+	"holdcsim/internal/fault"
 	"holdcsim/internal/power"
 	"holdcsim/internal/rng"
 	"holdcsim/internal/runner"
@@ -31,6 +32,11 @@ type Fig4Params struct {
 	// Check enables runtime invariant checking on every simulation
 	// (internal/invariant): a violated conservation law fails the run.
 	Check bool
+	// Faults optionally attaches the fault injector (internal/fault)
+	// to every simulation in the experiment. Nil leaves the fault
+	// machinery unwired; a non-nil empty spec attaches an empty
+	// timeline (the differential fault suite's probe).
+	Faults *fault.Spec
 }
 
 // DefaultFig4 mirrors the paper: 50 four-core servers, Wikipedia trace.
@@ -93,6 +99,7 @@ func fig4Run(p Fig4Params, seed uint64) (*Fig4Result, error) {
 	cfg := core.Config{
 		Seed:         seed,
 		Check:        p.Check,
+		Faults:       p.Faults,
 		Servers:      p.Servers,
 		ServerConfig: server.DefaultConfig(power.FourCoreServer()),
 		Placer:       prov,

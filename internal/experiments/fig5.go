@@ -5,6 +5,7 @@ import (
 
 	"holdcsim/internal/core"
 	"holdcsim/internal/dist"
+	"holdcsim/internal/fault"
 	"holdcsim/internal/power"
 	"holdcsim/internal/runner"
 	"holdcsim/internal/sched"
@@ -33,6 +34,11 @@ type Fig5Params struct {
 	// Check enables runtime invariant checking on every simulation
 	// (internal/invariant): a violated conservation law fails the run.
 	Check bool
+	// Faults optionally attaches the fault injector (internal/fault)
+	// to every simulation in the experiment. Nil leaves the fault
+	// machinery unwired; a non-nil empty spec attaches an empty
+	// timeline (the differential fault suite's probe).
+	Faults *fault.Spec
 }
 
 // Fig5Workload names one service-time profile and its τ grid.
@@ -183,6 +189,7 @@ func fig5Point(p Fig5Params, wl Fig5Workload, rho, tau float64, seed uint64) (Fi
 	cfg := core.Config{
 		Seed:         seed,
 		Check:        p.Check,
+		Faults:       p.Faults,
 		Servers:      p.Servers,
 		ServerConfig: sc,
 		Placer:       sched.PackFirst{},

@@ -5,6 +5,7 @@ import (
 
 	"holdcsim/internal/core"
 	"holdcsim/internal/dist"
+	"holdcsim/internal/fault"
 	"holdcsim/internal/power"
 	"holdcsim/internal/runner"
 	"holdcsim/internal/sched"
@@ -38,6 +39,11 @@ type Fig6Params struct {
 	// Check enables runtime invariant checking on every simulation
 	// (internal/invariant): a violated conservation law fails the run.
 	Check bool
+	// Faults optionally attaches the fault injector (internal/fault)
+	// to every simulation in the experiment. Nil leaves the fault
+	// machinery unwired; a non-nil empty spec attaches an empty
+	// timeline (the differential fault suite's probe).
+	Faults *fault.Spec
 }
 
 // Fig6Workload names one service profile.
@@ -188,6 +194,7 @@ func fig6Run(p Fig6Params, wl Fig6Workload, n int, rho float64, pol fig6Policy, 
 	cfg := core.Config{
 		Seed:         seed,
 		Check:        p.Check,
+		Faults:       p.Faults,
 		Servers:      n,
 		ServerConfig: sc,
 		Arrivals: workload.Poisson{

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"holdcsim/internal/core"
+	"holdcsim/internal/fault"
 	"holdcsim/internal/power"
 	"holdcsim/internal/runner"
 	"holdcsim/internal/sched"
@@ -32,6 +33,11 @@ type Fig8Params struct {
 	// Check enables runtime invariant checking on every simulation
 	// (internal/invariant): a violated conservation law fails the run.
 	Check bool
+	// Faults optionally attaches the fault injector (internal/fault)
+	// to every simulation in the experiment. Nil leaves the fault
+	// machinery unwired; a non-nil empty spec attaches an empty
+	// timeline (the differential fault suite's probe).
+	Faults *fault.Spec
 }
 
 // DefaultFig8 mirrors the paper's setup.
@@ -145,6 +151,7 @@ func fig8Point(p Fig8Params, wl Fig6Workload, rho float64, seed uint64) (Fig8Row
 	cfg := core.Config{
 		Seed:         seed,
 		Check:        p.Check,
+		Faults:       p.Faults,
 		Servers:      p.Servers,
 		ServerConfig: sc,
 		Placer:       pool,

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"holdcsim/internal/core"
+	"holdcsim/internal/fault"
 	"holdcsim/internal/power"
 	"holdcsim/internal/rng"
 	"holdcsim/internal/runner"
@@ -31,6 +32,11 @@ type Fig9Params struct {
 	// Check enables runtime invariant checking on every simulation
 	// (internal/invariant): a violated conservation law fails the run.
 	Check bool
+	// Faults optionally attaches the fault injector (internal/fault)
+	// to every simulation in the experiment. Nil leaves the fault
+	// machinery unwired; a non-nil empty spec attaches an empty
+	// timeline (the differential fault suite's probe).
+	Faults *fault.Spec
 }
 
 // DefaultFig9 mirrors the paper's setup.
@@ -145,6 +151,7 @@ func fig9Run(p Fig9Params, adaptive bool, seed uint64) (fig9Sample, error) {
 	cfg := core.Config{
 		Seed:         seed,
 		Check:        p.Check,
+		Faults:       p.Faults,
 		Servers:      p.Servers,
 		ServerConfig: sc,
 		Arrivals:     workload.NewTraceReplay(tr),

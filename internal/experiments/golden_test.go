@@ -9,6 +9,7 @@ import (
 	"strings"
 	"testing"
 
+	"holdcsim/internal/fault"
 	"holdcsim/internal/runner"
 )
 
@@ -26,15 +27,16 @@ var update = flag.Bool("update", false, "rewrite golden files under testdata/gol
 // figures. The same renderings back the worker-count equivalence test.
 type goldenCase struct {
 	name string
-	run  func(exec runner.Options, check bool) (string, error)
+	run  func(exec runner.Options, check bool, faults *fault.Spec) (string, error)
 }
 
 func goldenCases() []goldenCase {
 	return []goldenCase{
-		{"table1", func(exec runner.Options, check bool) (string, error) {
+		{"table1", func(exec runner.Options, check bool, faults *fault.Spec) (string, error) {
 			p := QuickTableI()
 			p.Exec = exec
 			p.Check = check
+			p.Faults = faults
 			r, err := TableI(p)
 			if err != nil {
 				return "", err
@@ -45,20 +47,22 @@ func goldenCases() []goldenCase {
 				fmt.Sprintf("jobs_completed\t%d\nsim_seconds\t%.6g\n",
 					r.JobsCompleted, r.SimSeconds), nil
 		}},
-		{"fig4", func(exec runner.Options, check bool) (string, error) {
+		{"fig4", func(exec runner.Options, check bool, faults *fault.Spec) (string, error) {
 			p := QuickFig4()
 			p.Exec = exec
 			p.Check = check
+			p.Faults = faults
 			r, err := Fig4(p)
 			if err != nil {
 				return "", err
 			}
 			return r.Series.String() + r.Summary() + "\n", nil
 		}},
-		{"fig5", func(exec runner.Options, check bool) (string, error) {
+		{"fig5", func(exec runner.Options, check bool, faults *fault.Spec) (string, error) {
 			p := QuickFig5()
 			p.Exec = exec
 			p.Check = check
+			p.Faults = faults
 			r, err := Fig5(p)
 			if err != nil {
 				return "", err
@@ -75,30 +79,33 @@ func goldenCases() []goldenCase {
 			}
 			return b.String(), nil
 		}},
-		{"fig6", func(exec runner.Options, check bool) (string, error) {
+		{"fig6", func(exec runner.Options, check bool, faults *fault.Spec) (string, error) {
 			p := QuickFig6()
 			p.Exec = exec
 			p.Check = check
+			p.Faults = faults
 			r, err := Fig6(p)
 			if err != nil {
 				return "", err
 			}
 			return r.Series.String(), nil
 		}},
-		{"fig8", func(exec runner.Options, check bool) (string, error) {
+		{"fig8", func(exec runner.Options, check bool, faults *fault.Spec) (string, error) {
 			p := QuickFig8()
 			p.Exec = exec
 			p.Check = check
+			p.Faults = faults
 			r, err := Fig8(p)
 			if err != nil {
 				return "", err
 			}
 			return r.Series.String(), nil
 		}},
-		{"fig9", func(exec runner.Options, check bool) (string, error) {
+		{"fig9", func(exec runner.Options, check bool, faults *fault.Spec) (string, error) {
 			p := QuickFig9()
 			p.Exec = exec
 			p.Check = check
+			p.Faults = faults
 			r, err := Fig9(p)
 			if err != nil {
 				return "", err
@@ -107,30 +114,33 @@ func goldenCases() []goldenCase {
 				fmt.Sprintf("totals_kJ\t%.6g\t%.6g\t%.6g\n",
 					r.TimerTotalJ/1e3, r.AdaptiveTotalJ/1e3, r.SavingPct), nil
 		}},
-		{"fig11", func(exec runner.Options, check bool) (string, error) {
+		{"fig11", func(exec runner.Options, check bool, faults *fault.Spec) (string, error) {
 			p := QuickFig11()
 			p.Exec = exec
 			p.Check = check
+			p.Faults = faults
 			r, err := Fig11(p)
 			if err != nil {
 				return "", err
 			}
 			return r.Series.String() + r.CDFTable().String(), nil
 		}},
-		{"fig12", func(exec runner.Options, check bool) (string, error) {
+		{"fig12", func(exec runner.Options, check bool, faults *fault.Spec) (string, error) {
 			p := QuickFig12()
 			p.Exec = exec
 			p.Check = check
+			p.Faults = faults
 			r, err := Fig12(p)
 			if err != nil {
 				return "", err
 			}
 			return r.Series.String() + r.Summary() + "\n", nil
 		}},
-		{"fig13", func(exec runner.Options, check bool) (string, error) {
+		{"fig13", func(exec runner.Options, check bool, faults *fault.Spec) (string, error) {
 			p := QuickFig13()
 			p.Exec = exec
 			p.Check = check
+			p.Faults = faults
 			r, err := Fig13(p)
 			if err != nil {
 				return "", err
@@ -148,7 +158,7 @@ func TestGoldenQuickPresets(t *testing.T) {
 	for _, c := range goldenCases() {
 		c := c
 		t.Run(c.name, func(t *testing.T) {
-			got, err := c.run(runner.Options{}, false)
+			got, err := c.run(runner.Options{}, false, nil)
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"holdcsim/internal/core"
+	"holdcsim/internal/fault"
 	"holdcsim/internal/power"
 	"holdcsim/internal/runner"
 	"holdcsim/internal/sched"
@@ -31,6 +32,11 @@ type TableIParams struct {
 	// Check enables runtime invariant checking on every simulation
 	// (internal/invariant): a violated conservation law fails the run.
 	Check bool
+	// Faults optionally attaches the fault injector (internal/fault)
+	// to every simulation in the experiment. Nil leaves the fault
+	// machinery unwired; a non-nil empty spec attaches an empty
+	// timeline (the differential fault suite's probe).
+	Faults *fault.Spec
 }
 
 // DefaultTableI checks the paper's ">20K servers" claim directly.
@@ -101,6 +107,7 @@ func tableIScale(p TableIParams, seed uint64) (*TableIResult, error) {
 	cfg := core.Config{
 		Seed:         seed,
 		Check:        p.Check,
+		Faults:       p.Faults,
 		Servers:      p.ScaleServers,
 		ServerConfig: sc,
 		Placer:       sched.RoundRobin{},

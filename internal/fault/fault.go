@@ -1,0 +1,344 @@
+// Package fault injects component failures into a running simulation:
+// server crash/recover with an orphaned-task policy, link flap with
+// in-flight packet loss, and switch death partitioning the topology.
+//
+// The design follows the "normal failure" view of cloud-scale data
+// centers (SPECI-2, DCSim): component loss is steady-state, not an
+// exception, so a holistic simulator must model it jointly with
+// scheduling and power management — a crashed server's queue is lost or
+// requeued, a dead switch silently blackholes the flows crossing it,
+// and the energy books must exclude down time.
+//
+// Determinism contract: a fault timeline is a pure function of (seed,
+// spec, farm shape) — Spec.Timeline draws every fault instant and
+// duration from one labeled rng stream — and the Injector delivers each
+// event through the engine's ordinary event queue, so a faulted run
+// replays byte-identically and an empty timeline leaves the simulation
+// byte-identical to an un-instrumented one (TestFaultFreeEquivalence).
+//
+// Accounting contract: the Injector keeps a Ledger of every fault
+// applied and every job lost, fed by the scheduler's return values and
+// loss callbacks — an account independent of the scheduler's own
+// counters, which the invariant checker reconciles at Finalize
+// (generated == completed + in-system + lost, with lost cross-checked
+// against the ledger).
+package fault
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"holdcsim/internal/engine"
+	"holdcsim/internal/job"
+	"holdcsim/internal/network"
+	"holdcsim/internal/rng"
+	"holdcsim/internal/sched"
+	"holdcsim/internal/server"
+	"holdcsim/internal/simtime"
+)
+
+// Kind is a fault event type.
+type Kind uint8
+
+// Fault event kinds. Down/up events come in pairs; the Injector skips
+// an event whose target is already in the requested state (two crash
+// draws overlapping on one server), counting it in the ledger.
+const (
+	ServerCrash Kind = iota
+	ServerRecover
+	LinkCut
+	LinkRestore
+	SwitchFail
+	SwitchRestore
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case ServerCrash:
+		return "server-crash"
+	case ServerRecover:
+		return "server-recover"
+	case LinkCut:
+		return "link-cut"
+	case LinkRestore:
+		return "link-restore"
+	case SwitchFail:
+		return "switch-fail"
+	case SwitchRestore:
+		return "switch-restore"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Event is one scheduled fault. Target indexes servers, links, or
+// switches (network.Switches() order) per the kind. Pair ties a
+// down/up couple together: a restore applies only if its own outage's
+// down event was the one that took the target down, so overlapping
+// draws on one target cannot truncate an earlier outage's duration.
+type Event struct {
+	At     simtime.Time
+	Kind   Kind
+	Target int
+	Pair   int
+}
+
+// Timeline is a time-ordered fault schedule.
+type Timeline struct {
+	Events []Event
+}
+
+// Empty reports whether the timeline schedules nothing.
+func (tl Timeline) Empty() bool { return len(tl.Events) == 0 }
+
+// Spec declares a fault workload as plain, comparable data — a scenario
+// axis. Counts say how many outages of each class to draw; durations
+// are mean outage lengths (each outage draws uniformly in [0.5, 1.5]×
+// mean, so recoveries stay bounded). The zero Spec is fault-free.
+type Spec struct {
+	// ServerCrashes is the number of server crash/recover pairs.
+	ServerCrashes int
+	// ServerDownSec is the mean server outage duration in seconds.
+	ServerDownSec float64
+	// LinkFlaps is the number of link cut/restore pairs.
+	LinkFlaps int
+	// LinkDownSec is the mean link outage duration in seconds.
+	LinkDownSec float64
+	// SwitchKills is the number of switch fail/restore pairs.
+	SwitchKills int
+	// SwitchDownSec is the mean switch outage duration in seconds.
+	SwitchDownSec float64
+	// HorizonSec is the window fault instants are drawn from. When zero
+	// the simulation's duration horizon is used (core fills it in).
+	HorizonSec float64
+	// Orphans selects the crash policy for stranded tasks: requeue
+	// (default) or drop the whole job.
+	Orphans sched.OrphanPolicy
+}
+
+// Empty reports whether the spec schedules no faults.
+func (sp Spec) Empty() bool {
+	return sp.ServerCrashes == 0 && sp.LinkFlaps == 0 && sp.SwitchKills == 0
+}
+
+// Validate rejects malformed specs (negative counts, non-finite or
+// negative durations).
+func (sp Spec) Validate() error {
+	if sp.ServerCrashes < 0 || sp.LinkFlaps < 0 || sp.SwitchKills < 0 {
+		return fmt.Errorf("fault: negative event count in %+v", sp)
+	}
+	for _, d := range [...]float64{sp.ServerDownSec, sp.LinkDownSec, sp.SwitchDownSec, sp.HorizonSec} {
+		if math.IsNaN(d) || math.IsInf(d, 0) || d < 0 {
+			return fmt.Errorf("fault: invalid duration %g", d)
+		}
+	}
+	return nil
+}
+
+// String summarizes the spec ("nofault" for fault-free) for scenario
+// names. Durations are included so specs differing only in outage
+// length keep distinct identifiers.
+func (sp Spec) String() string {
+	if sp.Empty() {
+		return "nofault"
+	}
+	return fmt.Sprintf("f%dc%g-%dl%g-%ds%g-%s",
+		sp.ServerCrashes, sp.ServerDownSec,
+		sp.LinkFlaps, sp.LinkDownSec,
+		sp.SwitchKills, sp.SwitchDownSec, sp.Orphans)
+}
+
+// Timeline draws the concrete fault schedule: a pure function of the
+// rng stream (derive it from the experiment seed with a dedicated
+// label), the horizon, and the farm shape. Classes whose target
+// population is zero (link flaps on a server-only farm) are skipped.
+// Outage instants are uniform over the first 90% of the horizon so a
+// recovery usually lands inside the run; durations are uniform in
+// [0.5, 1.5]× the class mean.
+func (sp Spec) Timeline(r *rng.Source, horizonSec float64, servers, links, switches int) Timeline {
+	var tl Timeline
+	pair := 0
+	draw := func(n int, count int, downSec float64, down, up Kind) {
+		if n <= 0 {
+			return
+		}
+		for i := 0; i < count; i++ {
+			at := simtime.FromSeconds(r.Float64() * horizonSec * 0.9)
+			dur := simtime.FromSeconds(downSec * (0.5 + r.Float64()))
+			target := r.IntN(n)
+			tl.Events = append(tl.Events, Event{At: at, Kind: down, Target: target, Pair: pair})
+			tl.Events = append(tl.Events, Event{At: at + dur, Kind: up, Target: target, Pair: pair})
+			pair++
+		}
+	}
+	draw(servers, sp.ServerCrashes, sp.ServerDownSec, ServerCrash, ServerRecover)
+	draw(links, sp.LinkFlaps, sp.LinkDownSec, LinkCut, LinkRestore)
+	draw(switches, sp.SwitchKills, sp.SwitchDownSec, SwitchFail, SwitchRestore)
+	sort.SliceStable(tl.Events, func(i, j int) bool {
+		return tl.Events[i].At < tl.Events[j].At
+	})
+	return tl
+}
+
+// Ledger is the injector's independent account of applied faults and
+// lost work. It accumulates through the scheduler's return values and
+// loss callbacks — not the scheduler's own counters — so the invariant
+// checker can reconcile the two at the end of a run.
+type Ledger struct {
+	ServerCrashes   int64
+	ServerRecovers  int64
+	LinkCuts        int64
+	LinkRestores    int64
+	SwitchFails     int64
+	SwitchRestores  int64
+	Skipped         int64 // events whose target was already in the requested state
+	JobsLostCrash   int64 // jobs retracted by a crash (OrphanDrop)
+	JobsLostNoAlive int64 // jobs retracted for lack of any alive server (OrphanDrop)
+	TasksOrphaned   int64 // task incarnations stranded on crashed servers
+}
+
+// JobsLost reports total jobs the ledger saw lost.
+func (ld Ledger) JobsLost() int64 { return ld.JobsLostCrash + ld.JobsLostNoAlive }
+
+// Applied reports total fault events applied (skips excluded).
+func (ld Ledger) Applied() int64 {
+	return ld.ServerCrashes + ld.ServerRecovers + ld.LinkCuts +
+		ld.LinkRestores + ld.SwitchFails + ld.SwitchRestores
+}
+
+// Injector owns a timeline's delivery: one engine event per fault, in
+// timeline order, applied against the scheduler and network.
+type Injector struct {
+	eng     *engine.Engine
+	sch     *sched.Scheduler
+	servers []*server.Server
+	net     *network.Network // nil on server-only farms
+	tl      Timeline
+	ledger  Ledger
+
+	// downBy records, per target class, which outage pair took a target
+	// down. A restore whose pair does not match is skipped: its own down
+	// event overlapped an earlier outage and was itself skipped, so
+	// applying its restore would truncate the earlier outage's duration.
+	srvDownBy  map[int]int
+	linkDownBy map[int]int
+	swDownBy   map[int]int
+}
+
+// Attach schedules a timeline's events on the engine and wires the
+// ledger's loss subscription. net may be nil (server-only farm);
+// network events are then skipped. Call before the run starts so event
+// ordering is deterministic.
+func Attach(eng *engine.Engine, tl Timeline, sch *sched.Scheduler,
+	servers []*server.Server, net *network.Network) *Injector {
+	inj := &Injector{
+		eng: eng, sch: sch, servers: servers, net: net, tl: tl,
+		srvDownBy:  make(map[int]int),
+		linkDownBy: make(map[int]int),
+		swDownBy:   make(map[int]int),
+	}
+	sch.OnJobLost(func(j *job.Job, reason sched.LostReason) {
+		if reason == sched.LostNoAliveServer {
+			inj.ledger.JobsLostNoAlive++
+		}
+	})
+	for _, ev := range tl.Events {
+		ev := ev
+		eng.Schedule(ev.At, func() { inj.apply(ev) })
+	}
+	return inj
+}
+
+// Timeline reports the schedule the injector was attached with.
+func (inj *Injector) Timeline() Timeline { return inj.tl }
+
+// Ledger snapshots the fault account.
+func (inj *Injector) Ledger() Ledger { return inj.ledger }
+
+// JobsLost reports the ledger's independent lost-job total (the
+// invariant checker's cross-check hook).
+func (inj *Injector) JobsLost() int64 { return inj.ledger.JobsLost() }
+
+// apply delivers one fault event. Events whose target is already in the
+// requested state (or out of range for this farm) are skipped and
+// counted; a restore whose matching down event was skipped is skipped
+// too, so every applied outage runs its full drawn duration.
+func (inj *Injector) apply(ev Event) {
+	switch ev.Kind {
+	case ServerCrash:
+		if ev.Target >= len(inj.servers) || inj.servers[ev.Target].Failed() {
+			inj.ledger.Skipped++
+			return
+		}
+		lost, orphans := inj.sch.ServerCrashed(inj.servers[ev.Target])
+		inj.srvDownBy[ev.Target] = ev.Pair
+		inj.ledger.ServerCrashes++
+		inj.ledger.JobsLostCrash += int64(lost)
+		inj.ledger.TasksOrphaned += int64(orphans)
+	case ServerRecover:
+		if ev.Target >= len(inj.servers) || !inj.servers[ev.Target].Failed() ||
+			inj.srvDownBy[ev.Target] != ev.Pair {
+			inj.ledger.Skipped++
+			return
+		}
+		inj.sch.ServerRecovered(inj.servers[ev.Target])
+		delete(inj.srvDownBy, ev.Target)
+		inj.ledger.ServerRecovers++
+	case LinkCut:
+		if inj.net == nil || ev.Target >= inj.net.NumLinks() || inj.net.LinkAdminDown(ev.Target) {
+			inj.ledger.Skipped++
+			return
+		}
+		if err := inj.net.SetLinkAdmin(ev.Target, false); err != nil {
+			panic(err) // range-checked above
+		}
+		inj.linkDownBy[ev.Target] = ev.Pair
+		inj.ledger.LinkCuts++
+	case LinkRestore:
+		if inj.net == nil || ev.Target >= inj.net.NumLinks() || !inj.net.LinkAdminDown(ev.Target) ||
+			inj.linkDownBy[ev.Target] != ev.Pair {
+			inj.ledger.Skipped++
+			return
+		}
+		if err := inj.net.SetLinkAdmin(ev.Target, true); err != nil {
+			panic(err)
+		}
+		delete(inj.linkDownBy, ev.Target)
+		inj.ledger.LinkRestores++
+	case SwitchFail:
+		sw := inj.switchAt(ev.Target)
+		if sw == nil || sw.Failed() {
+			inj.ledger.Skipped++
+			return
+		}
+		if err := inj.net.SetSwitchAdmin(sw.Node(), false); err != nil {
+			panic(err)
+		}
+		inj.swDownBy[ev.Target] = ev.Pair
+		inj.ledger.SwitchFails++
+	case SwitchRestore:
+		sw := inj.switchAt(ev.Target)
+		if sw == nil || !sw.Failed() || inj.swDownBy[ev.Target] != ev.Pair {
+			inj.ledger.Skipped++
+			return
+		}
+		if err := inj.net.SetSwitchAdmin(sw.Node(), true); err != nil {
+			panic(err)
+		}
+		delete(inj.swDownBy, ev.Target)
+		inj.ledger.SwitchRestores++
+	}
+}
+
+// switchAt resolves a switch index (Switches() order) or nil.
+func (inj *Injector) switchAt(i int) *network.Switch {
+	if inj.net == nil {
+		return nil
+	}
+	sws := inj.net.Switches()
+	if i >= len(sws) {
+		return nil
+	}
+	return sws[i]
+}

@@ -32,7 +32,8 @@ import (
 type Violation struct {
 	// Law names the violated law ("monotonic-time", "task-conservation",
 	// "energy-closure", "non-negative-queues", "packet-conservation",
-	// "little-exact", "little-ci", "reported-totals", "placement").
+	// "little-exact", "little-ci", "reported-totals", "placement",
+	// "lost-ledger").
 	Law    string
 	Detail string
 }
@@ -52,6 +53,11 @@ type Options struct {
 	// MaxViolations caps recorded violations (default 32); further
 	// violations increment the suppressed counter.
 	MaxViolations int
+	// LostJobsLedger, when set, supplies an independent count of jobs
+	// lost to failures (the fault injector's ledger). Finalize
+	// cross-checks it against both the checker's own loss observations
+	// and the scheduler's counter.
+	LostJobsLedger func() int64
 }
 
 // RelTol is the relative tolerance for floating-point closure laws.
@@ -75,15 +81,20 @@ type Checker struct {
 
 	// Little's-law bookkeeping in exact integer nanoseconds: the area
 	// under N(t) must equal the summed time-in-system of every job,
-	// completed or still open, with no tolerance at all.
+	// completed, lost, or still open, with no tolerance at all. Loss
+	// events split the integral at the crash boundary: a lost job
+	// contributes its partial sojourn (loss − arrive) exactly.
 	inSystem      int64
 	lastChange    simtime.Time
 	jobNanoSecs   int64 // ∫ N(t) dt in job·ns
 	arrived       int64
 	completed     int64
+	lost          int64
 	sumArriveNs   int64 // Σ arrive over all arrivals
 	sumSojournNs  int64 // Σ (finish − arrive) over completed
+	sumLostNs     int64 // Σ (loss − arrive) over lost
 	sumArrDoneNs  int64 // Σ arrive over completed
+	sumArrLostNs  int64 // Σ arrive over lost
 	sumSojournS   float64
 	sumSojournSqS float64
 
@@ -110,6 +121,7 @@ func Attach(eng *engine.Engine, gen *workload.Generator, s *sched.Scheduler,
 	s.OnJobArrived(c.onArrive)
 	s.OnJobDone(c.onDone)
 	s.OnDispatch(c.onDispatch)
+	s.OnJobLost(c.onLost)
 	return c
 }
 
@@ -148,7 +160,8 @@ func (c *Checker) settle(now simtime.Time) {
 }
 
 // checkCounters is the O(1) job-conservation law, valid at every hook
-// boundary: every generated job is either completed or in the system.
+// boundary: every generated job is completed, in the system, or lost to
+// a failure.
 func (c *Checker) checkCounters() {
 	if c.gen == nil {
 		return
@@ -156,8 +169,10 @@ func (c *Checker) checkCounters() {
 	gen := c.gen.Generated()
 	done := c.sched.JobsCompleted()
 	open := int64(c.sched.JobsInSystem())
-	if gen != done+open {
-		c.report("task-conservation", "generated %d != completed %d + in-system %d", gen, done, open)
+	lost := c.sched.JobsLost()
+	if gen != done+open+lost {
+		c.report("task-conservation", "generated %d != completed %d + in-system %d + lost %d",
+			gen, done, open, lost)
 	}
 }
 
@@ -187,6 +202,24 @@ func (c *Checker) onDone(j *job.Job) {
 	s := soj.Seconds()
 	c.sumSojournS += s
 	c.sumSojournSqS += s * s
+	c.checkCounters()
+}
+
+// onLost observes a job retracted by a failure: it leaves the system at
+// the loss instant, contributing its partial sojourn to the Little
+// integral — the crash-boundary split that keeps the law exact under
+// failures.
+func (c *Checker) onLost(j *job.Job, reason sched.LostReason) {
+	now := c.observe()
+	c.settle(now)
+	c.inSystem--
+	c.lost++
+	partial := now - j.ArriveAt
+	if partial < 0 {
+		c.report("monotonic-time", "job %d lost at %v before arriving %v", j.ID, now, j.ArriveAt)
+	}
+	c.sumLostNs += int64(partial)
+	c.sumArrLostNs += int64(j.ArriveAt)
 	c.checkCounters()
 }
 
@@ -268,9 +301,9 @@ func (c *Checker) Finalize(end simtime.Time) []Violation {
 	// Task conservation, cross-checked against the scheduler's own
 	// counters (the checker counts callbacks; the scheduler counts
 	// admissions — they must agree).
-	if c.arrived != c.completed+c.inSystem {
-		c.report("task-conservation", "observed %d arrivals != %d completed + %d open",
-			c.arrived, c.completed, c.inSystem)
+	if c.arrived != c.completed+c.inSystem+c.lost {
+		c.report("task-conservation", "observed %d arrivals != %d completed + %d open + %d lost",
+			c.arrived, c.completed, c.inSystem, c.lost)
 	}
 	if got := c.sched.JobsCompleted(); got != c.completed {
 		c.report("task-conservation", "scheduler completed %d, checker observed %d", got, c.completed)
@@ -278,31 +311,50 @@ func (c *Checker) Finalize(end simtime.Time) []Violation {
 	if got := int64(c.sched.JobsInSystem()); got != c.inSystem {
 		c.report("task-conservation", "scheduler in-system %d, checker observed %d", got, c.inSystem)
 	}
+	if got := c.sched.JobsLost(); got != c.lost {
+		c.report("task-conservation", "scheduler lost %d, checker observed %d", got, c.lost)
+	}
 	if c.gen != nil {
 		if gen := c.gen.Generated(); gen != c.arrived {
 			c.report("task-conservation", "generator emitted %d, scheduler admitted %d", gen, c.arrived)
 		}
 	}
-	// Task-level conservation: every task the scheduler submitted is
-	// either finished on its server or still pending there (queued,
-	// reserved, or running).
+	// Lost-work cross-check: the fault injector's ledger — accumulated
+	// through an independent path (crash return values plus loss
+	// callbacks) — must agree with the checker's own loss count.
+	if c.opts.LostJobsLedger != nil {
+		if got := c.opts.LostJobsLedger(); got != c.lost {
+			c.report("lost-ledger", "fault ledger lost %d jobs, checker observed %d", got, c.lost)
+		}
+	} else if c.lost != 0 {
+		c.report("lost-ledger", "%d jobs lost with no fault ledger attached", c.lost)
+	}
+	// Task-level conservation: every task incarnation the scheduler
+	// submitted is finished on its server, still pending there (queued,
+	// reserved, or running), or was aborted by a failure (orphaned on a
+	// crashed server — whether or not it was requeued as a fresh
+	// incarnation — or retracted with a lost job).
 	var tasksDone, tasksPending int64
 	for _, srv := range c.servers {
 		tasksDone += srv.CompletedTasks()
 		tasksPending += int64(srv.PendingTasks())
 	}
-	if dispatched := c.sched.TasksDispatched(); dispatched != tasksDone+tasksPending {
-		c.report("task-conservation", "tasks dispatched %d != finished %d + pending %d",
-			dispatched, tasksDone, tasksPending)
+	aborted := c.sched.TasksAborted()
+	if dispatched := c.sched.TasksDispatched(); dispatched != tasksDone+tasksPending+aborted {
+		c.report("task-conservation", "tasks dispatched %d != finished %d + pending %d + aborted %d",
+			dispatched, tasksDone, tasksPending, aborted)
 	}
 
-	// Little's law, exact integral form: the area under N(t) equals the
-	// total time-in-system of completed jobs plus the partial time of
-	// jobs still open at end. Integer nanoseconds — zero tolerance.
-	openPartial := c.inSystem*int64(end) - (c.sumArriveNs - c.sumArrDoneNs)
-	if c.jobNanoSecs != c.sumSojournNs+openPartial {
-		c.report("little-exact", "∫N dt = %d job·ns, but sojourns %d + open partial %d = %d",
-			c.jobNanoSecs, c.sumSojournNs, openPartial, c.sumSojournNs+openPartial)
+	// Little's law, exact integral form, split at loss boundaries: the
+	// area under N(t) equals the total time-in-system of completed jobs,
+	// plus the partial time of jobs lost to failures (up to the loss
+	// instant), plus the partial time of jobs still open at end.
+	// Integer nanoseconds — zero tolerance.
+	openPartial := c.inSystem*int64(end) - (c.sumArriveNs - c.sumArrDoneNs - c.sumArrLostNs)
+	if c.jobNanoSecs != c.sumSojournNs+c.sumLostNs+openPartial {
+		c.report("little-exact", "∫N dt = %d job·ns, but sojourns %d + lost partials %d + open partial %d = %d",
+			c.jobNanoSecs, c.sumSojournNs, c.sumLostNs, openPartial,
+			c.sumSojournNs+c.sumLostNs+openPartial)
 	}
 
 	c.checkEnergy(end)
@@ -314,10 +366,14 @@ func (c *Checker) Finalize(end simtime.Time) []Violation {
 }
 
 // checkEnergy verifies per-server energy accounting: residency
-// fractions must sum to 1, and every component's energy must be finite,
-// non-negative, and within the profile's physical power envelope.
+// fractions must sum to 1 (down time included), and every component's
+// energy must be finite, non-negative, and within the profile's
+// physical power envelope — an envelope that excludes down-time
+// residency, since a crashed server draws nothing. Billing any power
+// during an outage therefore breaks the law.
 func (c *Checker) checkEnergy(end simtime.Time) {
 	for _, srv := range c.servers {
+		downFrac := 0.0
 		fr := srv.Residency().FractionsTo(end)
 		if len(fr) > 0 {
 			sum := 0.0
@@ -329,6 +385,12 @@ func (c *Checker) checkEnergy(end simtime.Time) {
 			}
 			if math.Abs(sum-1) > 1e3*RelTol {
 				c.report("energy-closure", "server %d residency fractions sum to %.12g", srv.ID(), sum)
+			}
+			downFrac = fr[server.StateDown]
+			if downFrac < 0 {
+				downFrac = 0
+			} else if downFrac > 1 {
+				downFrac = 1
 			}
 		}
 		cpu, dram, plat := srv.CPUEnergyTo(end), srv.DRAMEnergyTo(end), srv.PlatformEnergyTo(end)
@@ -345,9 +407,20 @@ func (c *Checker) checkEnergy(end simtime.Time) {
 			c.report("energy-closure", "server %d total %g J != components %g J",
 				srv.ID(), total, cpu+dram+plat)
 		}
-		if cap := powerCap(srv) * end.Seconds(); end > 0 && total > cap*(1+RelTol) {
-			c.report("energy-closure", "server %d energy %g J exceeds power envelope %g J",
-				srv.ID(), total, cap)
+		// Envelope over up-time only: down residency contributes no
+		// joules. Healthy servers keep the strict pre-fault tolerance;
+		// only a server that actually spent time down gets slack for the
+		// float division in its residency fractions — and any real
+		// down-time billing (idle power alone is tens of watts) exceeds
+		// that slack by orders of magnitude.
+		tol, slack := RelTol, 0.0
+		if downFrac > 0 {
+			tol, slack = 1e3*RelTol, 1e-6
+		}
+		if cap := powerCap(srv) * end.Seconds() * (1 - downFrac); end > 0 &&
+			total > cap*(1+tol)+slack {
+			c.report("energy-closure", "server %d energy %g J exceeds up-time power envelope %g J (down %.3g)",
+				srv.ID(), total, cap, downFrac)
 		}
 	}
 }
@@ -401,6 +474,10 @@ func (c *Checker) checkNetwork() {
 	if d := c.net.Drops(); d != st.PacketsDropped {
 		c.report("packet-conservation", "egress drop counters %d != stats drops %d", d, st.PacketsDropped)
 	}
+	if st.FlowsFailed < 0 || st.FlowsFailed > st.FlowsCompleted {
+		c.report("packet-conservation", "flows failed %d outside [0, completed %d]",
+			st.FlowsFailed, st.FlowsCompleted)
+	}
 	if st.BytesDelivered < 0 {
 		c.report("packet-conservation", "negative bytes delivered %d", st.BytesDelivered)
 	}
@@ -437,6 +514,7 @@ type ReportedTotals struct {
 	End               simtime.Time
 	JobsGenerated     int64
 	JobsCompleted     int64
+	JobsLost          int64
 	ServerEnergyJ     float64
 	CPUEnergyJ        float64
 	DRAMEnergyJ       float64
@@ -501,8 +579,12 @@ func (c *Checker) VerifyTotals(rt ReportedTotals) {
 			c.report("reported-totals", "mean residency fractions sum to %.12g", sum)
 		}
 	}
-	if rt.JobsCompleted > rt.JobsGenerated {
-		c.report("reported-totals", "completed %d > generated %d", rt.JobsCompleted, rt.JobsGenerated)
+	if rt.JobsCompleted+rt.JobsLost > rt.JobsGenerated {
+		c.report("reported-totals", "completed %d + lost %d > generated %d",
+			rt.JobsCompleted, rt.JobsLost, rt.JobsGenerated)
+	}
+	if rt.JobsLost != c.lost {
+		c.report("reported-totals", "reported %d jobs lost, checker observed %d", rt.JobsLost, c.lost)
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"holdcsim/internal/engine"
+	"holdcsim/internal/job"
 	"holdcsim/internal/power"
 	"holdcsim/internal/rng"
 	"holdcsim/internal/sched"
@@ -23,6 +24,10 @@ type rig struct {
 }
 
 func newRig(t *testing.T, servers int, jobs int64, opts Options) *rig {
+	return newRigPolicy(t, servers, jobs, opts, sched.OrphanRequeue)
+}
+
+func newRigPolicy(t *testing.T, servers int, jobs int64, opts Options, policy sched.OrphanPolicy) *rig {
 	t.Helper()
 	eng := engine.New()
 	farm := make([]*server.Server, servers)
@@ -33,7 +38,7 @@ func newRig(t *testing.T, servers int, jobs int64, opts Options) *rig {
 		}
 		farm[i] = srv
 	}
-	s, err := sched.New(eng, farm, sched.Config{})
+	s, err := sched.New(eng, farm, sched.Config{Orphans: policy})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -97,6 +102,67 @@ func TestDetectsTamperedIntegral(t *testing.T) {
 	r.c.jobNanoSecs += 12345 // corrupt the area under N(t)
 	if v := r.c.Finalize(r.eng.Now()); !hasLaw(v, "little-exact") {
 		t.Errorf("corrupted integral not caught: %v", v)
+	}
+}
+
+// TestLossSplitsHold: a real mid-run crash under each orphan policy —
+// with a ledger wired the way core wires the fault injector's — leaves
+// every failure-aware law intact: the split Little integral, the lost
+// counters, the aborted-task conservation, and the down-time-excluded
+// energy envelope.
+func TestLossSplitsHold(t *testing.T) {
+	for _, policy := range []sched.OrphanPolicy{sched.OrphanRequeue, sched.OrphanDrop} {
+		policy := policy
+		t.Run(policy.String(), func(t *testing.T) {
+			r := newRigPolicy(t, 2, 400, Options{}, policy)
+			// The checker cross-checks its loss count against this
+			// stand-in ledger, fed exactly like the injector's.
+			var ledger int64
+			r.c.opts.LostJobsLedger = func() int64 { return ledger }
+			r.s.OnJobLost(func(_ *job.Job, _ sched.LostReason) { ledger++ })
+			r.eng.Schedule(100*simtime.Millisecond, func() {
+				r.s.ServerCrashed(r.s.Servers()[0])
+			})
+			r.eng.Schedule(300*simtime.Millisecond, func() {
+				r.s.ServerRecovered(r.s.Servers()[0])
+			})
+			r.run()
+			if v := r.c.Finalize(r.eng.Now()); len(v) != 0 {
+				t.Fatalf("faulted run reported violations: %v", v)
+			}
+			if policy == sched.OrphanDrop && r.c.lost == 0 {
+				t.Skip("no job was in flight at the crash; timing drifted")
+			}
+		})
+	}
+}
+
+// TestDetectsTamperedLostCount: corrupting the loss counter trips both
+// the conservation law and the ledger cross-check.
+func TestDetectsTamperedLostCount(t *testing.T) {
+	r := newRig(t, 2, 50, Options{})
+	r.run()
+	r.c.lost++
+	r.c.sumLostNs += 777 // a phantom partial sojourn
+	v := r.c.Finalize(r.eng.Now())
+	if !hasLaw(v, "task-conservation") {
+		t.Errorf("tampered lost count not caught by task-conservation: %v", v)
+	}
+	if !hasLaw(v, "lost-ledger") {
+		t.Errorf("loss with no ledger not caught by lost-ledger: %v", v)
+	}
+	if !hasLaw(v, "little-exact") {
+		t.Errorf("phantom lost partial not caught by the split integral: %v", v)
+	}
+}
+
+// TestDetectsLedgerMismatch: a ledger that disagrees with the checker's
+// observations trips lost-ledger.
+func TestDetectsLedgerMismatch(t *testing.T) {
+	r := newRig(t, 2, 50, Options{LostJobsLedger: func() int64 { return 5 }})
+	r.run()
+	if v := r.c.Finalize(r.eng.Now()); !hasLaw(v, "lost-ledger") {
+		t.Errorf("ledger mismatch not caught: %v", v)
 	}
 }
 

@@ -26,6 +26,7 @@ const (
 	TaskQueued                    // placed on a server, waiting for a core
 	TaskRunning                   // executing on a core
 	TaskFinished                  // execution complete
+	TaskLost                      // retracted by a failure; will never finish
 )
 
 // String implements fmt.Stringer.
@@ -41,6 +42,8 @@ func (s TaskState) String() string {
 		return "running"
 	case TaskFinished:
 		return "finished"
+	case TaskLost:
+		return "lost"
 	}
 	return fmt.Sprintf("TaskState(%d)", int(s))
 }
@@ -121,7 +124,8 @@ type Job struct {
 	Tasks    []*Task
 	ArriveAt simtime.Time
 	FinishAt simtime.Time
-	finished int // count of finished tasks
+	finished int  // count of finished tasks
+	lost     bool // retracted by a failure; will never complete
 }
 
 // New returns an empty job arriving at the given time.
@@ -240,6 +244,14 @@ func (j *Job) TaskFinished(t *Task, now simtime.Time) (jobDone bool) {
 
 // Done reports whether all tasks have finished.
 func (j *Job) Done() bool { return j.finished == len(j.Tasks) }
+
+// MarkLost records that the job was retracted by a failure (server crash
+// with a drop policy, or no alive server to place it on). A lost job
+// never completes; the scheduler stops tracking it.
+func (j *Job) MarkLost() { j.lost = true }
+
+// Lost reports whether the job was retracted by a failure.
+func (j *Job) Lost() bool { return j.lost }
 
 // Sojourn reports the job's total time in system (finish - arrive).
 // Valid only after Done.

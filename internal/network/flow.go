@@ -69,9 +69,26 @@ func (n *Network) TransferFlow(src, dst topology.NodeID, bytes int64, done func(
 	if err != nil {
 		return err
 	}
-	n.stats.FlowsStarted++
 	wait := n.wakePathSwitches(nodes)
 	start := func() {
+		// The started counter moves here, inside the (possibly deferred)
+		// start event: a duration horizon can end the run while a flow
+		// still waits on a switch wake, and a flow that never started
+		// must not count against flow conservation.
+		n.stats.FlowsStarted++
+		for _, l := range links {
+			if l.isDown() {
+				// The route failed before the flow could start: it fails
+				// immediately (completion still fires, like a packet
+				// drop, so dependents make progress).
+				n.stats.FlowsCompleted++
+				n.stats.FlowsFailed++
+				if done != nil {
+					done()
+				}
+				return
+			}
+		}
 		f := &Flow{
 			id:        id,
 			links:     links,
@@ -208,9 +225,13 @@ func (n *Network) waterFill() {
 	}
 }
 
-// flowComplete finishes a flow: releases its links and ports, notifies
-// the owner, and re-rates the remaining flows.
-func (n *Network) flowComplete(f *Flow) {
+// releaseFlow is the single teardown path for a flow leaving the
+// network, completed or killed: it settles progress, leaves the active
+// list, releases links and ports, updates the counters, re-rates the
+// survivors, and fires the owner's callback. failed selects the
+// accounting: a killed flow counts failed and delivers only its
+// progress to date.
+func (n *Network) releaseFlow(f *Flow, failed bool) {
 	f.settle(n.eng.Now())
 	// Remove from the active list (kept in id order).
 	for i, g := range n.flows {
@@ -219,6 +240,10 @@ func (n *Network) flowComplete(f *Flow) {
 			break
 		}
 	}
+	// Inert for a completed flow (its event already fired); a killed
+	// flow's pending completion must not land later.
+	n.eng.Cancel(f.ev)
+	f.ev = engine.Handle{}
 	for i, l := range f.links {
 		if f.dirAB[i] {
 			l.nFlowsAB--
@@ -228,9 +253,24 @@ func (n *Network) flowComplete(f *Flow) {
 		l.markIdle()
 	}
 	n.stats.FlowsCompleted++
-	n.stats.BytesDelivered += int64(f.total)
+	if failed {
+		n.stats.FlowsFailed++
+		n.stats.BytesDelivered += int64(f.total - f.remaining)
+	} else {
+		n.stats.BytesDelivered += int64(f.total)
+	}
 	n.recomputeFlowRates()
 	if f.done != nil {
 		f.done()
 	}
 }
+
+// failFlow kills a flow whose route lost a link or switch: progress to
+// date counts as delivered bytes, the flow counts completed and failed,
+// and the completion callback fires — exactly the drop semantics of
+// packet mode, so DAG progress never deadlocks on a failure.
+func (n *Network) failFlow(f *Flow) { n.releaseFlow(f, true) }
+
+// flowComplete finishes a flow: releases its links and ports, notifies
+// the owner, and re-rates the remaining flows.
+func (n *Network) flowComplete(f *Flow) { n.releaseFlow(f, false) }

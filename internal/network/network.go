@@ -58,6 +58,7 @@ func DefaultConfig(profile *power.SwitchProfile) Config {
 type Stats struct {
 	FlowsStarted     int64
 	FlowsCompleted   int64
+	FlowsFailed      int64 // flows killed by a link or switch failure (⊆ completed)
 	PacketsSent      int64 // packets injected by packet-mode transfers
 	PacketsDelivered int64
 	PacketsDropped   int64
@@ -243,6 +244,11 @@ type linkState struct {
 	nFlowsAB, nFlowsBA int
 
 	egressAB, egressBA *egressQueue
+
+	// Fault admin state: adminDown is an explicit link flap; deadEnds
+	// counts failed endpoint switches. Either takes the link down.
+	adminDown bool
+	deadEnds  int
 }
 
 // bytesPerSec reports the link's current per-direction capacity in

@@ -117,8 +117,14 @@ type egressQueue struct {
 
 func (q *egressQueue) busy() bool { return q.sending || len(q.queue) > 0 }
 
-// enqueue adds a packet, dropping it if the buffer would overflow.
+// enqueue adds a packet, dropping it if the link is down or the buffer
+// would overflow.
 func (q *egressQueue) enqueue(n *Network, p *packet) {
+	if q.link.isDown() {
+		q.drops++
+		p.xfer.finishOne(n, p, false)
+		return
+	}
 	if n.cfg.PortBufferBytes > 0 && q.busy() &&
 		q.queuedBytes+p.bytes > n.cfg.PortBufferBytes {
 		q.drops++
@@ -172,14 +178,46 @@ func (q *egressQueue) serialized(n *Network) {
 	p := q.cur
 	q.cur = nil
 	q.sending = false
+	if q.link.isDown() {
+		// The link failed while the packet was on the wire: it is lost
+		// with the link's in-flight traffic.
+		q.link.markIdle()
+		q.drops++
+		p.xfer.finishOne(n, p, false)
+		q.maybeSend(n)
+		return
+	}
 	q.maybeSend(n)
 	n.eng.After(n.cfg.PropDelay, p.arrive)
+}
+
+// dropAll retracts every queued packet (the link went down). In-flight
+// packets drop at their next serialization or arrival event.
+func (q *egressQueue) dropAll(n *Network) {
+	if len(q.queue) == 0 {
+		return
+	}
+	pending := q.queue
+	q.queue = nil
+	q.queuedBytes = 0
+	for _, p := range pending {
+		q.drops++
+		p.xfer.finishOne(n, p, false)
+	}
 }
 
 // packetArrived lands a packet at the far end of its current link.
 func (n *Network) packetArrived(p *packet) {
 	l := p.links[p.hop]
 	l.markIdle()
+	if l.isDown() {
+		// Failed mid-propagation: the packet is lost, billed to the
+		// egress queue it left from.
+		q := l.egress(l.a == p.nodes[p.hop])
+		q.drops++
+		p.xfer.finishOne(n, p, false)
+		return
+	}
 	p.hop++
 	if p.hop == len(p.links) { // destination host
 		p.xfer.finishOne(n, p, true)
@@ -190,7 +228,8 @@ func (n *Network) packetArrived(p *packet) {
 	n.eng.After(n.cfg.SwitchLatency, p.forward)
 }
 
-// Drops reports total packets dropped at all egress queues.
+// Drops reports total packets dropped per link — buffer overflows plus
+// link/switch failure losses, each billed to an egress queue.
 func (n *Network) Drops() int64 {
 	var d int64
 	for _, l := range n.links {

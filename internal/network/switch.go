@@ -10,11 +10,13 @@ import (
 	"holdcsim/internal/topology"
 )
 
-// Switch residency labels.
+// Switch residency labels. SwitchStateDown is the fault model's
+// addition: a dead switch draws nothing until revived.
 const (
 	SwitchStateActive = "Active"
 	SwitchStateWake   = "Wake-up"
 	SwitchStateSleep  = "Sleep"
+	SwitchStateDown   = "Down"
 )
 
 // Switch models one switching element: chassis + line cards + ports,
@@ -31,6 +33,7 @@ type Switch struct {
 
 	sleeping  bool
 	waking    bool
+	failed    bool // dead (fault model): 0 W, no traffic, no transitions
 	wakeUntil simtime.Time
 	wakeEv    engine.Handle
 	sleepTmr  *engine.Timer
@@ -83,6 +86,9 @@ func (s *Switch) Profile() *power.SwitchProfile { return s.prof }
 // Sleeping reports whether the line cards are asleep.
 func (s *Switch) Sleeping() bool { return s.sleeping }
 
+// Failed reports whether the switch is dead (fault model).
+func (s *Switch) Failed() bool { return s.failed }
+
 // WakeCount reports how many sleep->active transitions occurred.
 func (s *Switch) WakeCount() int64 { return s.wakeCount }
 
@@ -119,6 +125,9 @@ func (s *Switch) ActivePorts() int {
 // remaining time until it is usable. Awake switches return 0.
 func (s *Switch) wake() simtime.Time {
 	now := s.net.eng.Now()
+	if s.failed {
+		return 0 // dead switches don't wake; traffic drops at their links
+	}
 	if s.waking {
 		return s.wakeUntil - now
 	}
@@ -150,7 +159,7 @@ func (s *Switch) wake() simtime.Time {
 
 // enterSleep puts line cards to sleep and ports off, if still idle.
 func (s *Switch) enterSleep() {
-	if s.sleeping || s.waking || !s.idle() {
+	if s.failed || s.sleeping || s.waking || !s.idle() {
 		return
 	}
 	s.sleeping = true
@@ -182,7 +191,7 @@ func (s *Switch) idle() bool {
 // maybeSleepArm (re)arms the sleep timer when the switch is idle and
 // sleep is enabled.
 func (s *Switch) maybeSleepArm() {
-	if s.net.cfg.SwitchSleepIdle < 0 || s.sleeping || s.waking {
+	if s.net.cfg.SwitchSleepIdle < 0 || s.sleeping || s.waking || s.failed {
 		return
 	}
 	if s.idle() {
@@ -197,6 +206,9 @@ func (s *Switch) recompute() {
 	w := s.prof.ChassisWatts
 	label := SwitchStateActive
 	switch {
+	case s.failed:
+		w = 0
+		label = SwitchStateDown
 	case s.waking:
 		w += float64(s.prof.LineCards) * s.prof.LineCardWake.Watts
 		label = SwitchStateWake
@@ -302,7 +314,7 @@ func (p *Port) removeUser() {
 
 // armLPI starts the LPI idle countdown if enabled.
 func (p *Port) armLPI() {
-	if p.sw.net.cfg.LPIIdle < 0 || p.link == nil {
+	if p.sw.net.cfg.LPIIdle < 0 || p.link == nil || p.sw.failed {
 		return
 	}
 	p.lpiTimer.Reset(p.sw.net.cfg.LPIIdle)

@@ -2,7 +2,9 @@ package scenario
 
 import (
 	"holdcsim/internal/core"
+	"holdcsim/internal/fault"
 	"holdcsim/internal/rng"
+	"holdcsim/internal/sched"
 	"holdcsim/internal/server"
 )
 
@@ -25,6 +27,7 @@ type Axes struct {
 	Arrivals   []ArrivalSpec
 	Factories  []FactorySpec
 	Horizons   []Horizon
+	Faults     []fault.Spec
 }
 
 // Horizon is one run-length axis value.
@@ -86,6 +89,10 @@ func (a Axes) Expand(base Scenario) []Scenario {
 	if len(horizons) == 0 {
 		horizons = []Horizon{{MaxJobs: base.MaxJobs, DurationSec: base.DurationSec}}
 	}
+	faults := a.Faults
+	if len(faults) == 0 {
+		faults = []fault.Spec{base.Faults}
+	}
 
 	var out []Scenario
 	seen := make(map[Scenario]bool)
@@ -101,31 +108,34 @@ func (a Axes) Expand(base Scenario) []Scenario {
 										for _, arr := range arrivals {
 											for _, fac := range factories {
 												for _, h := range horizons {
-													s := base
-													s.Seed = seed
-													s.Topology = topo
-													s.Comm = comm
-													s.Servers = n
-													s.Profile = prof
-													s.Queue = q
-													s.DelayTimerSec = tau
-													s.Heterogeneous = het
-													s.Placer = pl
-													s.Arrival = arr
-													s.Factory = fac
-													s.MaxJobs = h.MaxJobs
-													s.DurationSec = h.DurationSec
-													if hosts := topo.Hosts(); topo.Kind != TopoNone && s.Servers > hosts {
-														s.Servers = hosts
+													for _, fs := range faults {
+														s := base
+														s.Seed = seed
+														s.Topology = topo
+														s.Comm = comm
+														s.Servers = n
+														s.Profile = prof
+														s.Queue = q
+														s.DelayTimerSec = tau
+														s.Heterogeneous = het
+														s.Placer = pl
+														s.Arrival = arr
+														s.Factory = fac
+														s.MaxJobs = h.MaxJobs
+														s.DurationSec = h.DurationSec
+														s.Faults = fs
+														if hosts := topo.Hosts(); topo.Kind != TopoNone && s.Servers > hosts {
+															s.Servers = hosts
+														}
+														// Clamping can collapse two farm
+														// sizes onto the same scenario; run
+														// each distinct scenario once.
+														if seen[s] || s.Validate() != nil {
+															continue
+														}
+														seen[s] = true
+														out = append(out, s)
 													}
-													// Clamping can collapse two farm sizes
-													// onto the same scenario; run each
-													// distinct scenario once.
-													if seen[s] || s.Validate() != nil {
-														continue
-													}
-													seen[s] = true
-													out = append(out, s)
 												}
 											}
 										}
@@ -231,6 +241,29 @@ func Random(seed uint64) Scenario {
 	if s.Arrival.Kind == ArrTraceWiki || s.Arrival.Kind == ArrTraceNLANR {
 		if s.MaxJobs == 0 || s.MaxJobs > 400 {
 			s.MaxJobs = int64(100 + r.IntN(300))
+		}
+	}
+
+	// Failure axis, drawn from a dedicated substream so every pre-fault
+	// field above keeps its historical draw for a given seed. About a
+	// third of drawn scenarios run under failure; network fault classes
+	// compose only with a topology.
+	fr := r.Split("faults")
+	if fr.Bernoulli(0.35) {
+		s.Faults.ServerCrashes = 1 + fr.IntN(3)
+		s.Faults.ServerDownSec = 0.05 + fr.Float64()*0.4
+		if fr.Bernoulli(0.5) {
+			s.Faults.Orphans = sched.OrphanDrop
+		}
+		if s.Topology.Kind != TopoNone {
+			if fr.Bernoulli(0.5) {
+				s.Faults.LinkFlaps = 1 + fr.IntN(2)
+				s.Faults.LinkDownSec = 0.02 + fr.Float64()*0.2
+			}
+			if fr.Bernoulli(0.35) {
+				s.Faults.SwitchKills = 1
+				s.Faults.SwitchDownSec = 0.05 + fr.Float64()*0.3
+			}
 		}
 	}
 	return s

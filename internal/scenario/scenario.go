@@ -18,6 +18,7 @@ import (
 
 	"holdcsim/internal/core"
 	"holdcsim/internal/dist"
+	"holdcsim/internal/fault"
 	"holdcsim/internal/invariant"
 	"holdcsim/internal/network"
 	"holdcsim/internal/power"
@@ -481,14 +482,24 @@ type Scenario struct {
 	// SwitchSleepSec < 0 disables line-card sleep.
 	SwitchSleepSec float64
 
+	// Faults is the failure axis: server crash/recover, link flap, and
+	// switch death drawn deterministically from the scenario seed. The
+	// zero value is fault-free (the injector is not attached at all).
+	Faults fault.Spec
+
 	// CheckStationary enables the statistical Little's-law check.
 	CheckStationary bool
 }
 
-// Name composes a stable human-readable identifier.
+// Name composes a stable human-readable identifier. Fault-free
+// scenarios keep their historical names; faulted ones append the spec.
 func (s Scenario) Name() string {
-	return fmt.Sprintf("%s/%s/%s/%s/%s/%s/q%d", s.Topology, s.Comm, s.Placer,
+	name := fmt.Sprintf("%s/%s/%s/%s/%s/%s/q%d", s.Topology, s.Comm, s.Placer,
 		s.Arrival, s.Factory, s.Profile, int(s.Queue))
+	if !s.Faults.Empty() {
+		name += "/" + s.Faults.String()
+	}
+	return name
 }
 
 // Validate reports whether the scenario composes a legal configuration.
@@ -517,6 +528,9 @@ func (s Scenario) Validate() error {
 	}
 	if s.Arrival.Rho <= 0 || s.Arrival.Rho >= 1.5 {
 		return fmt.Errorf("scenario: utilization %g out of range", s.Arrival.Rho)
+	}
+	if err := s.Faults.Validate(); err != nil {
+		return err
 	}
 	return nil
 }
@@ -596,6 +610,23 @@ func (s Scenario) Config() (core.Config, error) {
 		return core.Config{}, err
 	}
 	cfg.Factory = factory
+	if !s.Faults.Empty() {
+		spec := s.Faults
+		if spec.HorizonSec <= 0 {
+			// MaxJobs horizons have no fixed virtual end; estimate the
+			// generation span from the derived arrival rate so fault
+			// instants land inside the run. Pure function of the
+			// scenario value, so replay stays deterministic.
+			spec.HorizonSec = s.DurationSec
+			if spec.HorizonSec <= 0 && rate > 0 {
+				spec.HorizonSec = float64(s.MaxJobs) / rate
+			}
+			if spec.HorizonSec <= 0 {
+				spec.HorizonSec = 1
+			}
+		}
+		cfg.Faults = &spec
+	}
 	return cfg, nil
 }
 

@@ -45,13 +45,14 @@ func (d *DualTimer) ensureConfigured(s *Scheduler) {
 // spill would make the aggressive low-τ timers flap.
 func (d *DualTimer) Place(s *Scheduler, t *job.Task, candidates []*server.Server) *server.Server {
 	d.ensureConfigured(s)
+	// Pool membership is by server ID (ensureConfigured gave IDs below
+	// HighCount the high τ), not slice position: the candidate list can
+	// be a filtered subset — crashed servers removed, or a kind
+	// restriction — and positional splits would misclassify servers.
 	// Least-loaded high-τ server with a spare slot.
 	var best *server.Server
-	for i, srv := range candidates {
-		if i >= d.HighCount {
-			break
-		}
-		if s.Load(srv) >= srv.Cores() {
+	for _, srv := range candidates {
+		if srv.ID() >= d.HighCount || s.Load(srv) >= srv.Cores() {
 			continue
 		}
 		if best == nil || s.Load(srv) < s.Load(best) {
@@ -62,8 +63,8 @@ func (d *DualTimer) Place(s *Scheduler, t *job.Task, candidates []*server.Server
 		return best
 	}
 	// Spill: pack into the busiest awake low-τ server with a spare slot.
-	for _, srv := range candidates[d.HighCount:] {
-		if srv.Asleep() || s.Load(srv) >= srv.Cores() {
+	for _, srv := range candidates {
+		if srv.ID() < d.HighCount || srv.Asleep() || s.Load(srv) >= srv.Cores() {
 			continue
 		}
 		if best == nil || s.Load(srv) > s.Load(best) {
@@ -74,8 +75,8 @@ func (d *DualTimer) Place(s *Scheduler, t *job.Task, candidates []*server.Server
 		return best
 	}
 	// Wake the first sleeping low-τ server.
-	for _, srv := range candidates[d.HighCount:] {
-		if srv.Asleep() {
+	for _, srv := range candidates {
+		if srv.ID() >= d.HighCount && srv.Asleep() {
 			return srv
 		}
 	}

@@ -50,6 +50,9 @@ type Config struct {
 	// OnDispatch, when set, observes every task handed to a server
 	// (request-traffic hooks, tracing).
 	OnDispatch func(srv *server.Server, t *job.Task)
+	// Orphans selects the fault policy for tasks stranded by server
+	// crashes (fault model). The zero value requeues.
+	Orphans OrphanPolicy
 }
 
 // Scheduler is the data center's global scheduler: it receives jobs from
@@ -76,13 +79,24 @@ type Scheduler struct {
 	onJobArrived []func(*job.Job)
 	onJobDone    []func(*job.Job)
 	onDispatch   []func(*server.Server, *job.Task)
+	onJobLost    []func(*job.Job, LostReason)
 
 	// rrNext is shared iteration state for the round-robin placer.
 	rrNext int
 
+	// Fault state (internal/fault drives it via ServerCrashed and
+	// ServerRecovered). downCount gates every fault-aware branch: while
+	// it is zero — every healthy run — placement takes exactly the
+	// pre-fault path with no filtering and no allocation.
+	downCount    int
+	aliveScratch []*server.Server
+	parked       []*job.Task // ready tasks waiting for a recovery
+
 	jobsInSystem   int
 	jobsDispatched int64
 	jobsCompleted  int64
+	jobsLost       int64
+	tasksAborted   int64
 }
 
 // New wires a scheduler to the servers. Server completion callbacks are
@@ -211,19 +225,32 @@ func (s *Scheduler) JobArrived(j *job.Job) {
 		t.ServerID = -1
 	}
 	for _, t := range order {
+		if j.Lost() {
+			// Admitting a root with every server down under OrphanDrop
+			// retracts the job; the remaining tasks are already lost.
+			return
+		}
 		if t.IsRoot() {
 			s.admitReady(t)
 		} else {
 			// Non-root tasks get their static placement now; they are
-			// submitted when their inputs arrive.
-			s.place(t)
+			// submitted when their inputs arrive. With no alive server
+			// the placement is deferred to readiness.
+			if err := s.place(t); err != nil {
+				t.ServerID = -1
+			}
 		}
 	}
 }
 
 // admitReady routes a ready task: global queue when enabled and no slot
-// is free, else place and submit.
+// is free, else place and submit. A task whose static placement died in
+// the meantime is re-placed; with no alive server the orphan policy
+// parks or drops it.
 func (s *Scheduler) admitReady(t *job.Task) {
+	if t.Job.Lost() {
+		return // a late transfer resolved a dependency of a retracted job
+	}
 	if s.cfg.UseGlobalQueue {
 		if srv := s.availableServer(t); srv != nil {
 			t.ServerID = srv.ID()
@@ -234,27 +261,42 @@ func (s *Scheduler) admitReady(t *job.Task) {
 		}
 		return
 	}
+	if t.ServerID >= 0 && s.downCount > 0 && s.servers[t.ServerID].Failed() {
+		// Statically placed on a server that crashed before dispatch.
+		if s.committed[t.ServerID] > 0 {
+			s.committed[t.ServerID]--
+		}
+		t.ServerID = -1
+	}
 	if t.ServerID < 0 {
-		s.place(t)
+		if err := s.place(t); err != nil {
+			s.handleUnplaceable(t)
+			return
+		}
 	}
 	s.submit(s.servers[t.ServerID], t)
 }
 
-// place records the placer's static decision on the task.
-func (s *Scheduler) place(t *job.Task) {
-	srv := s.cfg.Placer.Place(s, t, s.Eligible(t))
-	if srv == nil {
-		srv = s.Eligible(t)[0]
+// place records the placer's static decision on the task. It returns an
+// *AllDownError when no eligible server is alive.
+func (s *Scheduler) place(t *job.Task) error {
+	srv, err := s.Select(t)
+	if err != nil {
+		return err
 	}
 	t.ServerID = srv.ID()
 	s.committed[srv.ID()]++
+	return nil
 }
 
-// availableServer finds an eligible server with a spare execution slot
-// (global-queue mode's "servers available at that time").
+// availableServer finds an alive eligible server with a spare execution
+// slot (global-queue mode's "servers available at that time").
 func (s *Scheduler) availableServer(t *job.Task) *server.Server {
 	var best *server.Server
 	for _, srv := range s.Eligible(t) {
+		if s.downCount > 0 && srv.Failed() {
+			continue
+		}
 		if s.Load(srv) < srv.Cores() {
 			if best == nil || s.Load(srv) < s.Load(best) {
 				best = srv
@@ -292,6 +334,9 @@ func (s *Scheduler) taskDone(srv *server.Server, t *job.Task) {
 	for _, e := range t.Out {
 		edge := e
 		deliver := func() {
+			if edge.To.State == job.TaskLost {
+				return // the dependent's job was retracted mid-transfer
+			}
 			if edge.To.SatisfyDep() {
 				edge.To.State = job.TaskReady
 				edge.To.ReadyAt = s.eng.Now()
@@ -305,10 +350,11 @@ func (s *Scheduler) taskDone(srv *server.Server, t *job.Task) {
 		} else {
 			dst := edge.To.ServerID
 			if dst < 0 {
-				// Global-queue mode: destination unknown until dispatch;
-				// transfer begins from the parent's server at dispatch
-				// time. Model that by delivering the dependency now and
-				// charging the transfer when the task is placed.
+				// Destination unknown until dispatch — global-queue mode,
+				// or a placement deferred because every server was down
+				// at admission. The transfer cannot be routed yet; model
+				// it by delivering the dependency now (the network
+				// latency and energy of this edge are not charged).
 				s.eng.After(0, deliver)
 			} else {
 				s.cfg.Transfer(t.ServerID, dst, edge.Bytes, deliver)
@@ -330,6 +376,11 @@ func (s *Scheduler) drainGlobalQueue() {
 	for _, t := range s.globalQ {
 		if srv := s.availableServer(t); srv != nil {
 			t.ServerID = srv.ID()
+			// Symmetric with admitReady's global-queue path: every
+			// dispatched task holds one commitment, so taskDone's
+			// decrement — and the crash path's per-orphan decommit —
+			// release exactly what was taken.
+			s.committed[srv.ID()]++
 			s.submit(srv, t)
 		} else {
 			remaining = append(remaining, t)

@@ -81,11 +81,22 @@ func (c *Core) assign(t *job.Task) {
 		c.srv.setSocketState(sk, power.PC0)
 	}
 	c.srv.recompute()
+	epoch := c.srv.epoch
 	c.srv.eng.After(trans.Latency, func() {
+		if c.srv.epoch != epoch {
+			return // the server crashed mid-wake; the transition is void
+		}
 		c.waking = false
 		c.cstate = power.C0
 		task := c.reserved
 		c.reserved = nil
+		if task == nil {
+			// The reservation was aborted (its job was lost) while the
+			// wake was committed: the core simply goes idle.
+			c.becomeIdle()
+			c.srv.checkServerIdle()
+			return
+		}
 		c.run(task)
 	})
 }
@@ -139,6 +150,23 @@ func (c *Core) finish() {
 	c.completed++
 	c.srv.busyCores--
 	c.srv.coreFinished(c, t)
+}
+
+// abortRun cancels the running task's completion (fault retraction): the
+// core pulls its next queued task or goes idle. The aborted task is not
+// counted as completed.
+func (c *Core) abortRun() {
+	c.srv.eng.Cancel(c.finishEv)
+	c.finishEv = engine.Handle{}
+	c.busy = false
+	c.task = nil
+	c.srv.busyCores--
+	if next := c.srv.nextFor(c); next != nil {
+		c.run(next)
+	} else {
+		c.becomeIdle()
+		c.srv.checkServerIdle()
+	}
 }
 
 // becomeIdle engages the C-state governor after the core runs out of

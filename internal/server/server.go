@@ -10,7 +10,9 @@ import (
 	"holdcsim/internal/stats"
 )
 
-// Residency state labels, matching the paper's Fig. 8 legend.
+// Residency state labels, matching the paper's Fig. 8 legend. StateDown
+// is the fault model's addition: a crashed server draws nothing and is
+// billed to "Down" until it recovers.
 const (
 	StateActive   = "Active"
 	StateWakeUp   = "Wake-up"
@@ -18,6 +20,7 @@ const (
 	StatePkgC6    = "PkgC6"
 	StateSysSleep = "SysSleep"
 	StateOff      = "Off"
+	StateDown     = "Down"
 )
 
 // Server models one machine: a multi-core processor package, DRAM and
@@ -39,6 +42,14 @@ type Server struct {
 	waking         bool              // system-level S3/S5 -> S0 transition in flight
 	entering       bool              // system suspend transition in flight
 	wakeAfterEntry bool              // a wake was requested mid-suspend
+
+	// failed marks a crashed server (fault model): it draws nothing,
+	// accepts no work, and ignores every in-flight transition. epoch
+	// increments on each Crash and Recover; transition completions
+	// scheduled before a crash carry the epoch they were armed under and
+	// become inert when it no longer matches.
+	failed bool
+	epoch  uint32
 
 	delayTimer *engine.Timer
 
@@ -187,10 +198,117 @@ func (s *Server) CompletedTasks() int64 { return s.completedTasks }
 // WakeCount reports how many system-level wake transitions occurred.
 func (s *Server) WakeCount() int64 { return s.wakeCount }
 
+// Failed reports whether the server is crashed (fault model).
+func (s *Server) Failed() bool { return s.failed }
+
+// Crash fails the server (fault model): every running task's completion
+// is canceled, all local state is discarded, the power draw drops to
+// zero, and residency is billed to StateDown until Recover. It returns
+// the orphaned tasks — running, reserved, and queued — in deterministic
+// order (per-core running, then reserved, then per-core queues, then the
+// unified queue) so the global scheduler can apply its drop/requeue
+// policy. Crashing a failed server is a no-op returning nil.
+func (s *Server) Crash() []*job.Task {
+	if s.failed {
+		return nil
+	}
+	s.failed = true
+	s.epoch++
+	s.delayTimer.Stop()
+	var orphans []*job.Task
+	for _, c := range s.cores {
+		if c.task != nil {
+			s.eng.Cancel(c.finishEv)
+			c.finishEv = engine.Handle{}
+			orphans = append(orphans, c.task)
+			c.task = nil
+			c.busy = false
+		}
+	}
+	for _, c := range s.cores {
+		if c.reserved != nil {
+			orphans = append(orphans, c.reserved)
+			c.reserved = nil
+		}
+	}
+	for _, c := range s.cores {
+		orphans = append(orphans, c.queue...)
+		c.queue = nil
+		c.waking = false
+		c.stopIdleTimer()
+		c.cstate = power.C6
+	}
+	orphans = append(orphans, s.queue...)
+	s.queue = nil
+	s.busyCores = 0
+	s.waking, s.entering, s.wakeAfterEntry = false, false, false
+	s.sstate = power.S0 // irrelevant while failed; Recover rebuilds
+	for sk := range s.sockets {
+		s.sockets[sk] = power.PC6
+	}
+	s.recompute()
+	return orphans
+}
+
+// Recover boots a crashed server: it comes back in S0 with every core
+// idle and the governor engaged, exactly as a freshly built server.
+// Recovering a healthy server is a no-op.
+func (s *Server) Recover() {
+	if !s.failed {
+		return
+	}
+	s.failed = false
+	s.epoch++
+	s.sstate = power.S0
+	for sk := range s.sockets {
+		s.sockets[sk] = power.PC0
+	}
+	for _, c := range s.cores {
+		c.becomeIdle()
+	}
+	s.checkServerIdle()
+}
+
+// Abort retracts a task the scheduler previously submitted: it is
+// removed from whichever queue holds it, or its execution is canceled
+// mid-run (the core pulls its next task). It reports whether the task
+// was found. Used by the fault model to kill sibling tasks of lost jobs
+// on healthy servers.
+func (s *Server) Abort(t *job.Task) bool {
+	for i, q := range s.queue {
+		if q == t {
+			s.queue = append(s.queue[:i], s.queue[i+1:]...)
+			return true
+		}
+	}
+	for _, c := range s.cores {
+		for i, q := range c.queue {
+			if q == t {
+				c.queue = append(c.queue[:i], c.queue[i+1:]...)
+				return true
+			}
+		}
+		if c.reserved == t {
+			// The core's wake is committed; it finds no reservation when
+			// the transition completes and simply goes idle.
+			c.reserved = nil
+			return true
+		}
+		if c.task == t {
+			c.abortRun()
+			return true
+		}
+	}
+	return false
+}
+
 // Submit hands a task to the server's local scheduler. If the server is
 // asleep (or suspending) it begins waking as soon as possible; the task
 // waits in the local queue.
 func (s *Server) Submit(t *job.Task) {
+	if s.failed {
+		panic("server: Submit to a failed server")
+	}
 	t.State = job.TaskQueued
 	t.ServerID = s.id
 	s.delayTimer.Stop()
@@ -318,7 +436,7 @@ func (s *Server) nextFor(c *Core) *job.Task {
 // checkServerIdle arms the delay timer when the server has gone
 // completely idle (Sec. IV-B).
 func (s *Server) checkServerIdle() {
-	if !s.cfg.DelayTimerEnabled {
+	if !s.cfg.DelayTimerEnabled || s.failed {
 		return
 	}
 	if s.sstate != power.S0 || s.waking || s.entering {
@@ -332,7 +450,7 @@ func (s *Server) checkServerIdle() {
 
 // maybePkgC6 parks any socket whose cores have all reached C6.
 func (s *Server) maybePkgC6() {
-	if !s.cfg.PkgC6Enabled || s.sstate != power.S0 || s.entering {
+	if !s.cfg.PkgC6Enabled || s.sstate != power.S0 || s.entering || s.failed {
 		return
 	}
 	perSocket := s.prof.CoresPerSocket()
@@ -367,7 +485,7 @@ func (s *Server) setSocketState(sk int, ps power.PkgCState) {
 // otherwise. The suspend is committed: a task arriving mid-entry waits
 // until entry completes and the wake path runs.
 func (s *Server) enterSleep() {
-	if s.sstate != power.S0 || s.waking || s.entering ||
+	if s.failed || s.sstate != power.S0 || s.waking || s.entering ||
 		s.busyCores > 0 || s.QueueLen() > 0 {
 		return
 	}
@@ -379,7 +497,11 @@ func (s *Server) enterSleep() {
 		s.sockets[sk] = power.PC6
 	}
 	s.recompute()
+	epoch := s.epoch
 	s.eng.After(s.prof.SleepEntry.Latency, func() {
+		if s.epoch != epoch {
+			return // the server crashed mid-suspend; the transition is void
+		}
 		s.entering = false
 		s.sstate = s.cfg.SleepState
 		s.recompute()
@@ -394,7 +516,7 @@ func (s *Server) enterSleep() {
 // idle, bypassing the delay timer (used by pool-based policies,
 // Sec. IV-C). It reports whether the transition was initiated.
 func (s *Server) ForceSleep() bool {
-	if s.sstate != power.S0 || s.waking || s.entering ||
+	if s.failed || s.sstate != power.S0 || s.waking || s.entering ||
 		s.busyCores > 0 || s.QueueLen() > 0 {
 		return false
 	}
@@ -408,6 +530,9 @@ func (s *Server) ForceSleep() bool {
 // whether a wake was initiated, already in flight, or scheduled to
 // follow an in-flight suspend.
 func (s *Server) WakeUp() bool {
+	if s.failed {
+		return false
+	}
 	if s.entering {
 		s.wakeAfterEntry = true
 		return true
@@ -431,7 +556,13 @@ func (s *Server) beginWake() {
 		trans = s.prof.WakeS5
 	}
 	s.recompute()
-	s.eng.After(trans.Latency, func() { s.finishWake() })
+	epoch := s.epoch
+	s.eng.After(trans.Latency, func() {
+		if s.epoch != epoch {
+			return // the server crashed mid-wake; the transition is void
+		}
+		s.finishWake()
+	})
 }
 
 // finishWake completes the system wake: package powers up, queued work
@@ -516,6 +647,10 @@ func (s *Server) recompute() {
 	var cpu, dram, plat float64
 	var label string
 	switch {
+	case s.failed:
+		// A crashed server draws nothing; its down time is billed to the
+		// Down residency state and excluded from the energy envelope.
+		label = StateDown
 	case s.waking, s.entering:
 		plat = s.prof.PlatformS0
 		dram = s.prof.DRAMActive
