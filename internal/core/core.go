@@ -49,6 +49,30 @@ func (m CommMode) String() string {
 	return fmt.Sprintf("CommMode(%d)", int(m))
 }
 
+// MarshalText implements encoding.TextMarshaler (scenario-file codec).
+func (m CommMode) MarshalText() ([]byte, error) {
+	switch m {
+	case CommNone, CommFlow, CommPacket:
+		return []byte(m.String()), nil
+	}
+	return nil, fmt.Errorf("core: unknown comm mode %d", int(m))
+}
+
+// UnmarshalText implements encoding.TextUnmarshaler.
+func (m *CommMode) UnmarshalText(b []byte) error {
+	switch string(b) {
+	case "none":
+		*m = CommNone
+	case "flow":
+		*m = CommFlow
+	case "packet":
+		*m = CommPacket
+	default:
+		return fmt.Errorf("core: unknown comm mode %q (want none, flow or packet)", b)
+	}
+	return nil
+}
+
 // Config describes one simulation experiment.
 type Config struct {
 	// Seed drives every random stream in the run.

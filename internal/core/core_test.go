@@ -325,3 +325,26 @@ func TestCommModeString(t *testing.T) {
 		t.Error("CommMode.String broken")
 	}
 }
+
+// TestCommModeText pins the scenario-codec text forms: marshal/
+// unmarshal round-trip for every mode, errors (not junk bytes) for
+// unknown values and names.
+func TestCommModeText(t *testing.T) {
+	for _, m := range []CommMode{CommNone, CommFlow, CommPacket} {
+		b, err := m.MarshalText()
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		var back CommMode = 99
+		if err := back.UnmarshalText(b); err != nil || back != m {
+			t.Errorf("round trip %v -> %q -> %v (%v)", m, b, back, err)
+		}
+	}
+	if _, err := CommMode(9).MarshalText(); err == nil {
+		t.Error("unknown mode marshaled")
+	}
+	var m CommMode
+	if err := m.UnmarshalText([]byte("fluid")); err == nil {
+		t.Error("unknown name unmarshaled")
+	}
+}

@@ -98,29 +98,35 @@ func (tl Timeline) Empty() bool { return len(tl.Events) == 0 }
 // mean, so recoveries stay bounded). The zero Spec is fault-free.
 type Spec struct {
 	// ServerCrashes is the number of server crash/recover pairs.
-	ServerCrashes int
+	ServerCrashes int `json:"serverCrashes,omitempty"`
 	// ServerDownSec is the mean server outage duration in seconds.
-	ServerDownSec float64
+	ServerDownSec float64 `json:"serverDownSec,omitempty"`
 	// LinkFlaps is the number of link cut/restore pairs.
-	LinkFlaps int
+	LinkFlaps int `json:"linkFlaps,omitempty"`
 	// LinkDownSec is the mean link outage duration in seconds.
-	LinkDownSec float64
+	LinkDownSec float64 `json:"linkDownSec,omitempty"`
 	// SwitchKills is the number of switch fail/restore pairs.
-	SwitchKills int
+	SwitchKills int `json:"switchKills,omitempty"`
 	// SwitchDownSec is the mean switch outage duration in seconds.
-	SwitchDownSec float64
+	SwitchDownSec float64 `json:"switchDownSec,omitempty"`
 	// HorizonSec is the window fault instants are drawn from. When zero
 	// the simulation's duration horizon is used (core fills it in).
-	HorizonSec float64
+	HorizonSec float64 `json:"horizonSec,omitempty"`
 	// Orphans selects the crash policy for stranded tasks: requeue
 	// (default) or drop the whole job.
-	Orphans sched.OrphanPolicy
+	Orphans sched.OrphanPolicy `json:"orphans,omitempty"`
 }
 
 // Empty reports whether the spec schedules no faults.
 func (sp Spec) Empty() bool {
 	return sp.ServerCrashes == 0 && sp.LinkFlaps == 0 && sp.SwitchKills == 0
 }
+
+// Zero reports whether the spec is the zero value — not merely
+// scheduling no faults, but carrying no parameters at all. The
+// distinction matters to scenario labels: an Empty-but-not-Zero spec
+// still distinguishes two scenario values.
+func (sp Spec) Zero() bool { return sp == Spec{} }
 
 // Validate rejects malformed specs (negative counts, non-finite or
 // negative durations).
@@ -136,17 +142,27 @@ func (sp Spec) Validate() error {
 	return nil
 }
 
-// String summarizes the spec ("nofault" for fault-free) for scenario
-// names. Durations are included so specs differing only in outage
-// length keep distinct identifiers.
+// String summarizes the spec ("nofault" for the zero value) for
+// scenario names. The rendering is injective over spec values: every
+// field appears with round-trip precision — durations, the draw horizon
+// when set, and (for an Empty spec with leftover parameters) a
+// parenthesized tail — so two distinct specs never share a label.
 func (sp Spec) String() string {
-	if sp.Empty() {
+	if sp.Zero() {
 		return "nofault"
 	}
-	return fmt.Sprintf("f%dc%g-%dl%g-%ds%g-%s",
+	if sp.Empty() {
+		return fmt.Sprintf("nofault(c%g-l%g-s%g-h%g-%s)",
+			sp.ServerDownSec, sp.LinkDownSec, sp.SwitchDownSec, sp.HorizonSec, sp.Orphans)
+	}
+	s := fmt.Sprintf("f%dc%g-%dl%g-%ds%g-%s",
 		sp.ServerCrashes, sp.ServerDownSec,
 		sp.LinkFlaps, sp.LinkDownSec,
 		sp.SwitchKills, sp.SwitchDownSec, sp.Orphans)
+	if sp.HorizonSec != 0 {
+		s += fmt.Sprintf("-h%g", sp.HorizonSec)
+	}
+	return s
 }
 
 // Timeline draws the concrete fault schedule: a pure function of the

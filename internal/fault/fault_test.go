@@ -211,6 +211,23 @@ func TestKindAndSpecStrings(t *testing.T) {
 	if sp.String() == sp2.String() {
 		t.Error("duration-only spec variants share an identifier")
 	}
+	// ... and only in draw horizon (the label is injective over specs).
+	sp3 := sp
+	sp3.HorizonSec = 2
+	if got := sp3.String(); got == sp.String() {
+		t.Errorf("horizon-only spec variant shares identifier %q", got)
+	}
+	// Empty-but-not-Zero specs keep a distinct identifier too.
+	leftover := fault.Spec{ServerDownSec: 0.5, Orphans: sched.OrphanDrop}
+	if leftover.Zero() || !leftover.Empty() {
+		t.Error("Zero/Empty inconsistent for a parameter-only spec")
+	}
+	if got := leftover.String(); got == "nofault" {
+		t.Error("parameter-only spec collapsed onto the zero label")
+	}
+	if !(fault.Spec{}).Zero() {
+		t.Error("zero spec not Zero()")
+	}
 	if (fault.Timeline{}).Empty() != true || sp.Empty() {
 		t.Error("Empty() inconsistent")
 	}

@@ -15,25 +15,25 @@ import (
 // topology, a network-aware placer on a server-only farm, more servers
 // than hosts) are skipped — the matrix is the *valid* cross product.
 type Axes struct {
-	Seeds      []uint64
-	Topologies []TopologySpec
-	Comms      []core.CommMode
-	Servers    []int
-	Profiles   []ProfileKind
-	Queues     []server.QueueMode
-	DelayTaus  []float64 // seconds; < 0 disables
-	Hetero     []bool
-	Placers    []PlacerSpec
-	Arrivals   []ArrivalSpec
-	Factories  []FactorySpec
-	Horizons   []Horizon
-	Faults     []fault.Spec
+	Seeds      []uint64           `json:"seeds,omitempty"`
+	Topologies []TopologySpec     `json:"topologies,omitempty"`
+	Comms      []core.CommMode    `json:"comms,omitempty"`
+	Servers    []int              `json:"servers,omitempty"`
+	Profiles   []ProfileKind      `json:"profiles,omitempty"`
+	Queues     []server.QueueMode `json:"queues,omitempty"`
+	DelayTaus  []float64          `json:"delayTaus,omitempty"` // seconds; < 0 disables
+	Hetero     []bool             `json:"hetero,omitempty"`
+	Placers    []PlacerSpec       `json:"placers,omitempty"`
+	Arrivals   []ArrivalSpec      `json:"arrivals,omitempty"`
+	Factories  []FactorySpec      `json:"factories,omitempty"`
+	Horizons   []Horizon          `json:"horizons,omitempty"`
+	Faults     []fault.Spec       `json:"faults,omitempty"`
 }
 
 // Horizon is one run-length axis value.
 type Horizon struct {
-	MaxJobs     int64
-	DurationSec float64
+	MaxJobs     int64   `json:"maxJobs,omitempty"`
+	DurationSec float64 `json:"durationSec,omitempty"`
 }
 
 // Expand produces every valid scenario in the cross product of the

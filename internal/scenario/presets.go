@@ -1,0 +1,188 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+
+	"holdcsim/internal/core"
+	"holdcsim/internal/fault"
+	"holdcsim/internal/sched"
+)
+
+// Presets returns the nine built-in scenario presets — one per paper
+// artifact (Table I, Figs. 4–13; see DESIGN.md Sec. 1) — sized like the
+// Quick() experiment presets so each runs in well under a second.
+// They are the codec's living documentation: `cmd/scenario export
+// -preset <name>` dumps any of them as a file, so the format is
+// self-demonstrating, and the round-trip suite pins
+// Decode(Encode(p)) == p for all nine.
+//
+// The map is rebuilt per call; mutate freely.
+func Presets() map[string]Scenario {
+	return map[string]Scenario{
+		// Table I: campaign scalability — a fat-tree farm under flow
+		// transfers, the shape the >20K-server check scales up.
+		"table1-fattree": {
+			Seed:           101,
+			Topology:       TopologySpec{Kind: TopoFatTree, A: 4},
+			Comm:           core.CommFlow,
+			Servers:        16,
+			Profile:        ProfFourCore,
+			DelayTimerSec:  -1,
+			Placer:         PlacerSpec{Kind: PlLeastLoaded},
+			Arrival:        ArrivalSpec{Kind: ArrPoisson, Rho: 0.3},
+			Factory:        FactorySpec{Kind: FacScatterGather, Service: SvcWebSearch, Width: 2, EdgeBytes: 16 << 10},
+			MaxJobs:        200,
+			SwitchSleepSec: -1,
+		},
+		// Fig. 4: dynamic resource provisioning against the diurnal
+		// Wikipedia trace.
+		"fig4-provisioning": {
+			Seed:           104,
+			Servers:        16,
+			Profile:        ProfFourCore,
+			DelayTimerSec:  -1,
+			Placer:         PlacerSpec{Kind: PlProvisioner},
+			Arrival:        ArrivalSpec{Kind: ArrTraceWiki, Rho: 0.3, TraceSec: 4},
+			Factory:        FactorySpec{Kind: FacSingle, Service: SvcWebSearch},
+			MaxJobs:        250,
+			SwitchSleepSec: -1,
+		},
+		// Fig. 5: the single delay-timer energy sweep's center point.
+		"fig5-delaytimer": {
+			Seed:           105,
+			Servers:        8,
+			Profile:        ProfFourCore,
+			DelayTimerSec:  0.1,
+			Placer:         PlacerSpec{Kind: PlPackFirst},
+			Arrival:        ArrivalSpec{Kind: ArrPoisson, Rho: 0.5},
+			Factory:        FactorySpec{Kind: FacSingle, Service: SvcWebSearch},
+			MaxJobs:        200,
+			SwitchSleepSec: -1,
+		},
+		// Fig. 6: dual delay timers (pool high/low watermarks).
+		"fig6-dualtimer": {
+			Seed:           106,
+			Servers:        8,
+			Profile:        ProfFourCore,
+			DelayTimerSec:  0.1,
+			Placer:         PlacerSpec{Kind: PlDualTimer, TauSec: 0.2},
+			Arrival:        ArrivalSpec{Kind: ArrPoisson, Rho: 0.5},
+			Factory:        FactorySpec{Kind: FacSingle, Service: SvcWebSearch},
+			MaxJobs:        200,
+			SwitchSleepSec: -1,
+		},
+		// Fig. 8: sleep-state residency under the adaptive pool, driven
+		// by bursty MMPP arrivals.
+		"fig8-residency": {
+			Seed:           108,
+			Servers:        8,
+			Profile:        ProfFourCore,
+			DelayTimerSec:  0.1,
+			Placer:         PlacerSpec{Kind: PlAdaptivePool, TauSec: 0.2},
+			Arrival:        ArrivalSpec{Kind: ArrMMPP, Rho: 0.6, BurstRatio: 4},
+			Factory:        FactorySpec{Kind: FacSingle, Service: SvcWebSearch},
+			MaxJobs:        200,
+			SwitchSleepSec: -1,
+		},
+		// Fig. 9: energy breakdown, adaptive pool over the Wikipedia
+		// trace with the web-serving service profile.
+		"fig9-breakdown": {
+			Seed:           109,
+			Servers:        8,
+			Profile:        ProfXeon10,
+			DelayTimerSec:  0.1,
+			Placer:         PlacerSpec{Kind: PlAdaptivePool, TauSec: 0.2},
+			Arrival:        ArrivalSpec{Kind: ArrTraceWiki, Rho: 0.4, TraceSec: 4},
+			Factory:        FactorySpec{Kind: FacSingle, Service: SvcWebServing},
+			MaxJobs:        150,
+			SwitchSleepSec: -1,
+		},
+		// Fig. 11: joint server + network optimization — network-aware
+		// placement with line-card sleep on a fat tree.
+		"fig11-joint": {
+			Seed:           111,
+			Topology:       TopologySpec{Kind: TopoFatTree, A: 4},
+			Comm:           core.CommFlow,
+			Servers:        16,
+			Profile:        ProfFourCore,
+			DelayTimerSec:  0.1,
+			Placer:         PlacerSpec{Kind: PlNetworkAware},
+			Arrival:        ArrivalSpec{Kind: ArrPoisson, Rho: 0.4},
+			Factory:        FactorySpec{Kind: FacScatterGather, Service: SvcWebSearch, Width: 2, EdgeBytes: 16 << 10},
+			MaxJobs:        150,
+			SwitchSleepSec: 0.2,
+		},
+		// Fig. 12: server power-model validation — one machine replaying
+		// the bursty NLANR trace with the Wikipedia service profile.
+		"fig12-server-validation": {
+			Seed:           112,
+			Servers:        1,
+			Profile:        ProfFourCore,
+			DelayTimerSec:  0,
+			Placer:         PlacerSpec{Kind: PlLeastLoaded},
+			Arrival:        ArrivalSpec{Kind: ArrTraceNLANR, Rho: 0.3, TraceSec: 4},
+			Factory:        FactorySpec{Kind: FacSingle, Service: SvcWikipedia},
+			MaxJobs:        200,
+			SwitchSleepSec: -1,
+		},
+		// Fig. 13: switch power-model validation — packet-granularity
+		// transfers across a star so every byte crosses the switch.
+		"fig13-switch-validation": {
+			Seed:           113,
+			Topology:       TopologySpec{Kind: TopoStar, A: 8},
+			Comm:           core.CommPacket,
+			Servers:        8,
+			Profile:        ProfFourCore,
+			DelayTimerSec:  -1,
+			Placer:         PlacerSpec{Kind: PlRoundRobin},
+			Arrival:        ArrivalSpec{Kind: ArrPoisson, Rho: 0.4},
+			Factory:        FactorySpec{Kind: FacScatterGather, Service: SvcWebSearch, Width: 2, EdgeBytes: 32 << 10},
+			MaxJobs:        150,
+			SwitchSleepSec: 0.2,
+		},
+	}
+}
+
+// Preset looks one preset up by name.
+func Preset(name string) (Scenario, error) {
+	p := Presets()
+	if s, ok := p[name]; ok {
+		return s, nil
+	}
+	return Scenario{}, fmt.Errorf("scenario: unknown preset %q (have %v)", name, PresetNames())
+}
+
+// PresetNames lists the built-in preset names, sorted.
+func PresetNames() []string {
+	p := Presets()
+	names := make([]string, 0, len(p))
+	for n := range p {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// DemoMatrix is the built-in example campaign `cmd/scenario export
+// -matrix` dumps: a fault-axis sweep over the Fig. 5 preset, small
+// enough to run in seconds but touching seeds, placers, utilizations
+// and the failure axis so the matrix form documents itself.
+func DemoMatrix() Matrix {
+	base := Presets()["fig5-delaytimer"]
+	return Matrix{
+		Base: base,
+		Axes: Axes{
+			Seeds:   []uint64{1, 2},
+			Placers: []PlacerSpec{{Kind: PlPackFirst}, {Kind: PlLeastLoaded}},
+			Arrivals: []ArrivalSpec{
+				{Kind: ArrPoisson, Rho: 0.3},
+				{Kind: ArrPoisson, Rho: 0.6},
+			},
+			Faults: []fault.Spec{
+				{},
+				{ServerCrashes: 1, ServerDownSec: 0.05, Orphans: sched.OrphanDrop},
+			},
+		},
+	}
+}

@@ -15,6 +15,8 @@ package scenario
 
 import (
 	"fmt"
+	"math"
+	"os"
 
 	"holdcsim/internal/core"
 	"holdcsim/internal/dist"
@@ -57,9 +59,11 @@ const (
 //	CamCube:        A×B×C torus dimensions
 //	FlatButterfly:  A = rows, B = cols, C = concentration
 type TopologySpec struct {
-	Kind    TopoKind
-	A, B, C int
-	RateBps float64 // 0 = family default
+	Kind    TopoKind `json:"kind"`
+	A       int      `json:"a,omitempty"`
+	B       int      `json:"b,omitempty"`
+	C       int      `json:"c,omitempty"`
+	RateBps float64  `json:"rateBps,omitempty"` // 0 = family default
 }
 
 // Builder returns the topology builder, or nil for TopoNone.
@@ -116,21 +120,39 @@ func (t TopologySpec) MaxSwitchDegree() int {
 	return 0
 }
 
-// String implements fmt.Stringer.
+// String implements fmt.Stringer. Injective: shape parameters the kind
+// ignores are appended, when nonzero, as a parenthesized tail, and a
+// non-default link rate is always included.
 func (t TopologySpec) String() string {
+	var s string
+	var deadShape bool
 	switch t.Kind {
 	case TopoStar:
-		return fmt.Sprintf("star%d", t.A)
+		s = fmt.Sprintf("star%d", t.A)
+		deadShape = t.B != 0 || t.C != 0
 	case TopoFatTree:
-		return fmt.Sprintf("fattree%d", t.A)
+		s = fmt.Sprintf("fattree%d", t.A)
+		deadShape = t.B != 0 || t.C != 0
 	case TopoBCube:
-		return fmt.Sprintf("bcube%d-%d", t.A, t.B)
+		s = fmt.Sprintf("bcube%d-%d", t.A, t.B)
+		deadShape = t.C != 0
 	case TopoCamCube:
-		return fmt.Sprintf("camcube%dx%dx%d", t.A, t.B, t.C)
+		s = fmt.Sprintf("camcube%dx%dx%d", t.A, t.B, t.C)
 	case TopoFlatButterfly:
-		return fmt.Sprintf("flatbfly%dx%dx%d", t.A, t.B, t.C)
+		s = fmt.Sprintf("flatbfly%dx%dx%d", t.A, t.B, t.C)
+	case TopoNone:
+		s = "none"
+		deadShape = t.A != 0 || t.B != 0 || t.C != 0
+	default:
+		return fmt.Sprintf("topo(%d)%dx%dx%d@%g", int(t.Kind), t.A, t.B, t.C, t.RateBps)
 	}
-	return "none"
+	if t.RateBps != 0 {
+		s += fmt.Sprintf("@%g", t.RateBps)
+	}
+	if deadShape {
+		s += fmt.Sprintf("(%d,%d,%d)", t.A, t.B, t.C)
+	}
+	return s
 }
 
 // ---------------------------------------------------------------------
@@ -140,12 +162,15 @@ func (t TopologySpec) String() string {
 // ArrivalKind selects an arrival process from the registry.
 type ArrivalKind int
 
-// Arrival kinds.
+// Arrival kinds. ArrTraceFile replays an externally recorded trace
+// file; Random never draws it (a random draw cannot invent a file), so
+// it enters the registry only through imported scenarios.
 const (
 	ArrPoisson ArrivalKind = iota
 	ArrMMPP
 	ArrTraceWiki
 	ArrTraceNLANR
+	ArrTraceFile
 )
 
 // ArrivalSpec declares the workload's arrival process. Rho is the
@@ -153,26 +178,50 @@ const (
 // and the factory's mean service demand, so the same spec composes
 // sanely with any farm.
 type ArrivalSpec struct {
-	Kind ArrivalKind
+	Kind ArrivalKind `json:"kind"`
 	// Rho is the target system utilization in (0, 1).
-	Rho float64
+	Rho float64 `json:"rho"`
 	// BurstRatio is the MMPP λH/λL ratio (>= 1); ignored elsewhere.
-	BurstRatio float64
-	// TraceSec is the synthesized trace length for the trace kinds.
-	TraceSec float64
+	BurstRatio float64 `json:"burstRatio,omitempty"`
+	// TraceSec is the synthesized trace length for the synthetic trace
+	// kinds.
+	TraceSec float64 `json:"traceSec,omitempty"`
+	// TraceFile is the recorded arrival trace (one timestamp per line,
+	// seconds; trace.Read format) replayed for ArrTraceFile. The trace
+	// is rescaled so its mean rate hits the utilization target Rho, the
+	// same composition rule the synthetic traces follow.
+	TraceFile string `json:"traceFile,omitempty"`
 }
 
-// String implements fmt.Stringer.
+// String implements fmt.Stringer. The rendering is injective: every
+// field the kind consumes is formatted with round-trip precision, and
+// fields the kind ignores, when nonzero, are appended in a parenthesized
+// tail so two distinct specs never share a label (runner rep-seeding
+// splits on scenario labels).
 func (a ArrivalSpec) String() string {
+	var s string
 	switch a.Kind {
+	case ArrPoisson:
+		s = fmt.Sprintf("poisson%g", a.Rho)
 	case ArrMMPP:
-		return fmt.Sprintf("mmpp%.2g-r%g", a.Rho, a.BurstRatio)
+		s = fmt.Sprintf("mmpp%g-r%g", a.Rho, a.BurstRatio)
 	case ArrTraceWiki:
-		return fmt.Sprintf("wiki%.2g", a.Rho)
+		s = fmt.Sprintf("wiki%g-t%g", a.Rho, a.TraceSec)
 	case ArrTraceNLANR:
-		return fmt.Sprintf("nlanr%.2g", a.Rho)
+		s = fmt.Sprintf("nlanr%g-t%g", a.Rho, a.TraceSec)
+	case ArrTraceFile:
+		s = fmt.Sprintf("file%g-%q", a.Rho, a.TraceFile)
+	default:
+		s = fmt.Sprintf("arr(%d)%g-r%g-t%g-%q", int(a.Kind), a.Rho, a.BurstRatio, a.TraceSec, a.TraceFile)
+		return s
 	}
-	return fmt.Sprintf("poisson%.2g", a.Rho)
+	deadBurst := a.Kind != ArrMMPP && a.BurstRatio != 0
+	deadTrace := a.Kind != ArrTraceWiki && a.Kind != ArrTraceNLANR && a.TraceSec != 0
+	deadFile := a.Kind != ArrTraceFile && a.TraceFile != ""
+	if deadBurst || deadTrace || deadFile {
+		s += fmt.Sprintf("(r%g-t%g-%q)", a.BurstRatio, a.TraceSec, a.TraceFile)
+	}
+	return s
 }
 
 // process constructs the arrival process for a farm with the given
@@ -210,12 +259,38 @@ func (a ArrivalSpec) process(rate float64, r *rng.Source) (workload.ArrivalProce
 		tr := trace.SyntheticNLANR(trace.DefaultNLANRConfig(dur), r.Split("trace/nlanr"))
 		// NLANR synthesis fixes its own burst rates; rescale to the
 		// requested mean rate so utilization stays in range.
-		if mr := tr.MeanRate(); mr > 0 && rate > 0 {
-			tr.Scale(mr / rate)
+		return replayScaled(tr, rate), nil
+	case ArrTraceFile:
+		f, err := os.Open(a.TraceFile)
+		if err != nil {
+			return nil, fmt.Errorf("scenario: arrival trace: %w", err)
 		}
-		return workload.NewTraceReplay(tr), nil
+		defer f.Close()
+		// The recorded trace rides the same capped, validated loader as
+		// every other external trace (finite, nonnegative, nondecreasing
+		// timestamps; arrival count bounded) and the same rate-rescaling
+		// rule as the synthetic NLANR path, so Rho composes with any farm.
+		tr, err := trace.Read(f)
+		if err != nil {
+			return nil, fmt.Errorf("scenario: arrival trace %s: %w", a.TraceFile, err)
+		}
+		if tr.Len() == 0 {
+			return nil, fmt.Errorf("scenario: arrival trace %s has no arrivals", a.TraceFile)
+		}
+		return replayScaled(tr, rate), nil
 	}
 	return nil, fmt.Errorf("scenario: unknown arrival kind %d", a.Kind)
+}
+
+// replayScaled rescales a trace whose own mean rate is fixed (recorded
+// files, NLANR synthesis) so it hits the utilization-derived target
+// rate, then wraps it for replay. One rule for every external trace:
+// changing the Rho composition here changes it everywhere.
+func replayScaled(tr *trace.Trace, rate float64) *workload.TraceReplay {
+	if mr := tr.MeanRate(); mr > 0 && rate > 0 {
+		tr.Scale(mr / rate)
+	}
+	return workload.NewTraceReplay(tr)
 }
 
 // ---------------------------------------------------------------------
@@ -243,6 +318,19 @@ const (
 	SvcWikipedia                     // uniform 3–10 ms
 )
 
+// String implements fmt.Stringer.
+func (s ServiceKind) String() string {
+	switch s {
+	case SvcWebServing:
+		return "webserving"
+	case SvcWikipedia:
+		return "wikipedia"
+	case SvcWebSearch:
+		return "websearch"
+	}
+	return fmt.Sprintf("svc(%d)", int(s))
+}
+
 func (s ServiceKind) sampler() dist.Sampler {
 	switch s {
 	case SvcWebServing:
@@ -255,27 +343,43 @@ func (s ServiceKind) sampler() dist.Sampler {
 
 // FactorySpec declares the job DAG shape.
 type FactorySpec struct {
-	Kind    FactoryKind
-	Service ServiceKind
+	Kind    FactoryKind `json:"kind"`
+	Service ServiceKind `json:"service"`
 	// Width is the scatter-gather fan-out / random-DAG max layer width.
-	Width int
+	Width int `json:"width,omitempty"`
 	// Layers is the random-DAG depth.
-	Layers int
+	Layers int `json:"layers,omitempty"`
 	// EdgeBytes is the data carried per DAG edge.
-	EdgeBytes int64
+	EdgeBytes int64 `json:"edgeBytes,omitempty"`
 }
 
-// String implements fmt.Stringer.
+// String implements fmt.Stringer. Injective: the service profile and
+// edge payload — both of which change the simulation — are part of the
+// label (they used to be dropped, so distinct imported scenarios could
+// collide on one run label), and fields the kind ignores are appended
+// when nonzero.
 func (f FactorySpec) String() string {
+	var s string
+	var deadW, deadL, deadE bool
 	switch f.Kind {
+	case FacSingle:
+		s = fmt.Sprintf("single-%s", f.Service)
+		deadW, deadL, deadE = true, true, true
 	case FacTwoTier:
-		return "twotier"
+		s = fmt.Sprintf("twotier-%s-e%d", f.Service, f.EdgeBytes)
+		deadW, deadL = true, true
 	case FacScatterGather:
-		return fmt.Sprintf("scatter%d", f.Width)
+		s = fmt.Sprintf("scatter%d-%s-e%d", f.Width, f.Service, f.EdgeBytes)
+		deadL = true
 	case FacRandomDAG:
-		return fmt.Sprintf("dag%dx%d", f.Layers, f.Width)
+		s = fmt.Sprintf("dag%dx%d-%s-e%d", f.Layers, f.Width, f.Service, f.EdgeBytes)
+	default:
+		return fmt.Sprintf("fac(%d)-%s-w%d-l%d-e%d", int(f.Kind), f.Service, f.Width, f.Layers, f.EdgeBytes)
 	}
-	return "single"
+	if (deadW && f.Width != 0) || (deadL && f.Layers != 0) || (deadE && f.EdgeBytes != 0) {
+		s += fmt.Sprintf("(w%d-l%d-e%d)", f.Width, f.Layers, f.EdgeBytes)
+	}
+	return s
 }
 
 // factory constructs the workload factory.
@@ -342,30 +446,43 @@ const (
 
 // PlacerSpec declares the placement/power-management policy.
 type PlacerSpec struct {
-	Kind PlacerKind
+	Kind PlacerKind `json:"kind"`
 	// TauSec parameterizes the pool policies' delay timers.
-	TauSec float64
+	TauSec float64 `json:"tauSec,omitempty"`
 }
 
-// String implements fmt.Stringer.
+// String implements fmt.Stringer. Injective: TauSec is included for the
+// policies that consume it, and appended parenthesized when set on one
+// that does not.
 func (p PlacerSpec) String() string {
+	var name string
 	switch p.Kind {
+	case PlLeastLoaded:
+		name = "leastloaded"
 	case PlRoundRobin:
-		return "roundrobin"
+		name = "roundrobin"
 	case PlPackFirst:
-		return "packfirst"
+		name = "packfirst"
 	case PlRandom:
-		return "random"
+		name = "random"
 	case PlNetworkAware:
-		return "netaware"
+		name = "netaware"
 	case PlAdaptivePool:
-		return "adaptive"
+		name = "adaptive"
 	case PlProvisioner:
-		return "provisioner"
+		name = "provisioner"
 	case PlDualTimer:
-		return "dualtimer"
+		name = "dualtimer"
+	default:
+		return fmt.Sprintf("placer(%d)-t%g", int(p.Kind), p.TauSec)
 	}
-	return "leastloaded"
+	if p.TauSec == 0 {
+		return name
+	}
+	if p.Kind == PlAdaptivePool || p.Kind == PlDualTimer {
+		return fmt.Sprintf("%s-t%g", name, p.TauSec)
+	}
+	return fmt.Sprintf("%s(t%g)", name, p.TauSec)
 }
 
 // needsNetwork reports whether the policy requires a live network.
@@ -454,56 +571,112 @@ func (p ProfileKind) String() string {
 // ---------------------------------------------------------------------
 
 // Scenario is one declarative simulation configuration: plain data,
-// expandable by Axes, drawable by Random, mutable by fuzzers.
+// expandable by Axes, drawable by Random, mutable by fuzzers, and
+// serializable through Encode/Decode (codec.go).
 type Scenario struct {
-	Seed uint64
+	Seed uint64 `json:"seed"`
 
-	Topology TopologySpec
-	Comm     core.CommMode
+	Topology TopologySpec  `json:"topology"`
+	Comm     core.CommMode `json:"comm"`
 
-	Servers       int
-	Profile       ProfileKind
-	Queue         server.QueueMode
-	DelayTimerSec float64 // < 0 disables the server delay timer
-	Heterogeneous bool    // odd servers get a fast/slow core-speed mix
-	DVFS          bool    // per-server ondemand DVFS governors
+	Servers       int              `json:"servers"`
+	Profile       ProfileKind      `json:"profile"`
+	Queue         server.QueueMode `json:"queue"`
+	DelayTimerSec float64          `json:"delayTimerSec"` // < 0 disables the server delay timer
+	Heterogeneous bool             `json:"heterogeneous,omitempty"`
+	DVFS          bool             `json:"dvfs,omitempty"`
 
-	Placer      PlacerSpec
-	GlobalQueue bool
+	Placer      PlacerSpec `json:"placer"`
+	GlobalQueue bool       `json:"globalQueue,omitempty"`
 
-	Arrival ArrivalSpec
-	Factory FactorySpec
+	Arrival ArrivalSpec `json:"arrival"`
+	Factory FactorySpec `json:"factory"`
 
 	// Horizon: at least one must be set (or a trace arrival bounds the
 	// run by itself).
-	MaxJobs     int64
-	DurationSec float64
+	MaxJobs     int64   `json:"maxJobs,omitempty"`
+	DurationSec float64 `json:"durationSec,omitempty"`
 
 	// SwitchSleepSec < 0 disables line-card sleep.
-	SwitchSleepSec float64
+	SwitchSleepSec float64 `json:"switchSleepSec"`
 
 	// Faults is the failure axis: server crash/recover, link flap, and
 	// switch death drawn deterministically from the scenario seed. The
 	// zero value is fault-free (the injector is not attached at all).
-	Faults fault.Spec
+	Faults fault.Spec `json:"faults"`
 
 	// CheckStationary enables the statistical Little's-law check.
-	CheckStationary bool
+	CheckStationary bool `json:"checkStationary,omitempty"`
 }
 
-// Name composes a stable human-readable identifier. Fault-free
-// scenarios keep their historical names; faulted ones append the spec.
-func (s Scenario) Name() string {
-	name := fmt.Sprintf("%s/%s/%s/%s/%s/%s/q%d", s.Topology, s.Comm, s.Placer,
-		s.Arrival, s.Factory, s.Profile, int(s.Queue))
-	if !s.Faults.Empty() {
+// String composes the scenario's canonical label: every field renders
+// with round-trip precision, so the mapping from scenario values to
+// labels is injective — two distinct Validate-passing scenarios never
+// share a label. The runner derives replication seeds by splitting on
+// the label, so a label collision between distinct scenarios would
+// silently correlate their replications; TestScenarioLabelInjective
+// guards the property.
+//
+// Layout: seed/topology/comm/farm/queue+timer/placer/arrival/factory/
+// horizon/switch-sleep, then optional flag segments (het, gq, dvfs,
+// stat) and the fault spec when present.
+func (s Scenario) String() string {
+	name := fmt.Sprintf("s%d/%s/%s/n%d-%s/%s-dt%g/%s/%s/%s/j%d-d%g/ss%g",
+		s.Seed, s.Topology, s.Comm, s.Servers, s.Profile, s.Queue, s.DelayTimerSec,
+		s.Placer, s.Arrival, s.Factory, s.MaxJobs, s.DurationSec, s.SwitchSleepSec)
+	if s.Heterogeneous {
+		name += "/het"
+	}
+	if s.GlobalQueue {
+		name += "/gq"
+	}
+	if s.DVFS {
+		name += "/dvfs"
+	}
+	if s.CheckStationary {
+		name += "/stat"
+	}
+	if !s.Faults.Zero() {
 		name += "/" + s.Faults.String()
 	}
 	return name
 }
 
+// Name is the scenario's stable run identifier — an alias of String,
+// kept for call sites that read better as Name().
+func (s Scenario) Name() string { return s.String() }
+
+// finiteScenarioFloats lists every float field with its label for
+// Validate's non-finite sweep. NaN slips through ordinary range
+// comparisons (every comparison is false), so scenarios decoded or
+// assembled from external input are checked explicitly.
+func (s Scenario) nonFiniteField() (string, float64, bool) {
+	fields := []struct {
+		name string
+		v    float64
+	}{
+		{"topology.rateBps", s.Topology.RateBps},
+		{"delayTimerSec", s.DelayTimerSec},
+		{"placer.tauSec", s.Placer.TauSec},
+		{"arrival.rho", s.Arrival.Rho},
+		{"arrival.burstRatio", s.Arrival.BurstRatio},
+		{"arrival.traceSec", s.Arrival.TraceSec},
+		{"durationSec", s.DurationSec},
+		{"switchSleepSec", s.SwitchSleepSec},
+	}
+	for _, f := range fields {
+		if math.IsNaN(f.v) || math.IsInf(f.v, 0) {
+			return f.name, f.v, true
+		}
+	}
+	return "", 0, false
+}
+
 // Validate reports whether the scenario composes a legal configuration.
 func (s Scenario) Validate() error {
+	if name, v, bad := s.nonFiniteField(); bad {
+		return fmt.Errorf("scenario: non-finite %s %g", name, v)
+	}
 	if s.Servers < 1 {
 		return fmt.Errorf("scenario: %d servers", s.Servers)
 	}
@@ -517,7 +690,8 @@ func (s Scenario) Validate() error {
 	} else if hosts := s.Topology.Hosts(); s.Servers > hosts {
 		return fmt.Errorf("scenario: %d servers exceed %s's %d hosts", s.Servers, s.Topology, hosts)
 	}
-	isTrace := s.Arrival.Kind == ArrTraceWiki || s.Arrival.Kind == ArrTraceNLANR
+	isTrace := s.Arrival.Kind == ArrTraceWiki || s.Arrival.Kind == ArrTraceNLANR ||
+		s.Arrival.Kind == ArrTraceFile
 	if s.MaxJobs <= 0 && s.DurationSec <= 0 && !isTrace {
 		return fmt.Errorf("scenario: unbounded horizon")
 	}
@@ -526,8 +700,14 @@ func (s Scenario) Validate() error {
 		// terminates such a run.
 		return fmt.Errorf("scenario: DVFS requires a duration horizon")
 	}
-	if s.Arrival.Rho <= 0 || s.Arrival.Rho >= 1.5 {
+	if !(s.Arrival.Rho > 0 && s.Arrival.Rho < 1.5) {
 		return fmt.Errorf("scenario: utilization %g out of range", s.Arrival.Rho)
+	}
+	if s.Arrival.Kind == ArrTraceFile && s.Arrival.TraceFile == "" {
+		return fmt.Errorf("scenario: trace-file arrival without a trace file")
+	}
+	if s.Arrival.Kind != ArrTraceFile && s.Arrival.TraceFile != "" {
+		return fmt.Errorf("scenario: trace file %q on a %s arrival", s.Arrival.TraceFile, s.Arrival)
 	}
 	if err := s.Faults.Validate(); err != nil {
 		return err

@@ -31,6 +31,28 @@ func (p OrphanPolicy) String() string {
 	return fmt.Sprintf("OrphanPolicy(%d)", int(p))
 }
 
+// MarshalText implements encoding.TextMarshaler (scenario-file codec).
+func (p OrphanPolicy) MarshalText() ([]byte, error) {
+	switch p {
+	case OrphanRequeue, OrphanDrop:
+		return []byte(p.String()), nil
+	}
+	return nil, fmt.Errorf("sched: unknown orphan policy %d", int(p))
+}
+
+// UnmarshalText implements encoding.TextUnmarshaler.
+func (p *OrphanPolicy) UnmarshalText(b []byte) error {
+	switch string(b) {
+	case "requeue":
+		*p = OrphanRequeue
+	case "drop":
+		*p = OrphanDrop
+	default:
+		return fmt.Errorf("sched: unknown orphan policy %q (want requeue or drop)", b)
+	}
+	return nil
+}
+
 // LostReason says why a job was lost.
 type LostReason int
 

@@ -345,6 +345,24 @@ func TestFaultStringsAndAccessors(t *testing.T) {
 		OrphanPolicy(9).String() != "OrphanPolicy(9)" {
 		t.Error("OrphanPolicy.String broken")
 	}
+	// Scenario-codec text forms round-trip; unknowns error.
+	for _, p := range []OrphanPolicy{OrphanRequeue, OrphanDrop} {
+		b, err := p.MarshalText()
+		if err != nil {
+			t.Fatalf("%v: %v", p, err)
+		}
+		var back OrphanPolicy = 99
+		if err := back.UnmarshalText(b); err != nil || back != p {
+			t.Errorf("round trip %v -> %q -> %v (%v)", p, b, back, err)
+		}
+	}
+	if _, err := OrphanPolicy(9).MarshalText(); err == nil {
+		t.Error("unknown policy marshaled")
+	}
+	var p OrphanPolicy
+	if err := p.UnmarshalText([]byte("discard")); err == nil {
+		t.Error("unknown name unmarshaled")
+	}
 	if LostServerCrash.String() != "server-crash" || LostNoAliveServer.String() != "no-alive-server" ||
 		LostReason(9).String() != "LostReason(9)" {
 		t.Error("LostReason.String broken")

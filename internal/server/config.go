@@ -37,6 +37,28 @@ func (m QueueMode) String() string {
 	return fmt.Sprintf("QueueMode(%d)", int(m))
 }
 
+// MarshalText implements encoding.TextMarshaler (scenario-file codec).
+func (m QueueMode) MarshalText() ([]byte, error) {
+	switch m {
+	case QueueUnified, QueuePerCore:
+		return []byte(m.String()), nil
+	}
+	return nil, fmt.Errorf("server: unknown queue mode %d", int(m))
+}
+
+// UnmarshalText implements encoding.TextUnmarshaler.
+func (m *QueueMode) UnmarshalText(b []byte) error {
+	switch string(b) {
+	case "unified":
+		*m = QueueUnified
+	case "per-core":
+		*m = QueuePerCore
+	default:
+		return fmt.Errorf("server: unknown queue mode %q (want unified or per-core)", b)
+	}
+	return nil
+}
+
 // Config parameterizes one server instance.
 type Config struct {
 	// Profile supplies power figures and the core count. Required.

@@ -496,6 +496,24 @@ func TestQueueModeString(t *testing.T) {
 	if QueueMode(9).String() != "QueueMode(9)" {
 		t.Error("unknown mode formatting")
 	}
+	// Scenario-codec text forms round-trip; unknowns error.
+	for _, m := range []QueueMode{QueueUnified, QueuePerCore} {
+		b, err := m.MarshalText()
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		var back QueueMode = 99
+		if err := back.UnmarshalText(b); err != nil || back != m {
+			t.Errorf("round trip %v -> %q -> %v (%v)", m, b, back, err)
+		}
+	}
+	if _, err := QueueMode(9).MarshalText(); err == nil {
+		t.Error("unknown mode marshaled")
+	}
+	var m QueueMode
+	if err := m.UnmarshalText([]byte("percore")); err == nil {
+		t.Error("unknown name unmarshaled (text form is per-core)")
+	}
 }
 
 // Property: every submitted task completes exactly once, regardless of

@@ -71,8 +71,8 @@ func TestValidateRejectsNonFinite(t *testing.T) {
 
 func TestClipEdgeCases(t *testing.T) {
 	empty := &Trace{}
-	if got := empty.Clip(0, 10); got.Len() != 0 {
-		t.Errorf("Clip of empty trace has %d events", got.Len())
+	if got, err := empty.Clip(0, 10); err != nil || got.Len() != 0 {
+		t.Errorf("Clip of empty trace: %v, %v", got, err)
 	}
 	single := &Trace{Times: []float64{5}}
 	cases := []struct {
@@ -87,7 +87,10 @@ func TestClipEdgeCases(t *testing.T) {
 		{5.1, 5.1, 0}, // empty window
 	}
 	for _, tc := range cases {
-		got := single.Clip(tc.from, tc.to)
+		got, err := single.Clip(tc.from, tc.to)
+		if err != nil {
+			t.Fatalf("Clip(%g, %g): %v", tc.from, tc.to, err)
+		}
 		if got.Len() != tc.want {
 			t.Errorf("Clip(%g, %g) has %d events, want %d", tc.from, tc.to, got.Len(), tc.want)
 		}
@@ -96,8 +99,40 @@ func TestClipEdgeCases(t *testing.T) {
 		}
 	}
 	// Rebasing: the window start becomes t=0.
-	if got := single.Clip(4, 6); got.Len() != 1 || got.Times[0] != 1 {
-		t.Errorf("Clip(4, 6) = %v, want [1]", got.Times)
+	if got, err := single.Clip(4, 6); err != nil || got.Len() != 1 || got.Times[0] != 1 {
+		t.Errorf("Clip(4, 6) = %v (err %v), want [1]", got, err)
+	}
+}
+
+// TestClipRejectsNonFinite is the regression test for the NaN-window
+// bug: NaN bounds make every sort.SearchFloat64s comparison false,
+// yielding an arbitrary window, and a NaN from poisons every rebased
+// timestamp. All non-finite bounds now error.
+func TestClipRejectsNonFinite(t *testing.T) {
+	tr := &Trace{Times: []float64{0, 1, 2}}
+	bad := []struct{ from, to float64 }{
+		{math.NaN(), 2},
+		{0, math.NaN()},
+		{math.NaN(), math.NaN()},
+		{math.Inf(-1), 2},
+		{0, math.Inf(1)},
+	}
+	for _, tc := range bad {
+		if got, err := tr.Clip(tc.from, tc.to); err == nil {
+			t.Errorf("Clip(%g, %g) accepted non-finite bounds, returned %v", tc.from, tc.to, got.Times)
+		}
+	}
+	// The clipped output must still be a valid trace even for odd but
+	// finite windows (negative from shifts timestamps up, never below 0).
+	got, err := tr.Clip(-5, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := got.Validate(); err != nil {
+		t.Errorf("Clip(-5, 100) produced invalid trace: %v", err)
+	}
+	if got.Len() != 3 || got.Times[0] != 5 {
+		t.Errorf("Clip(-5, 100) = %v, want rebased [5 6 7]", got.Times)
 	}
 }
 

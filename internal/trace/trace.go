@@ -86,8 +86,13 @@ func (t *Trace) Scale(f float64) {
 
 // Clip returns a new Trace containing arrivals in [from, to), rebased so
 // the window starts at 0. An empty or inverted window yields an empty
-// trace.
-func (t *Trace) Clip(from, to float64) *Trace {
+// trace. Non-finite bounds are rejected: NaN compares false against
+// every timestamp, so sort.SearchFloat64s would return an arbitrary
+// window, and a NaN from would poison every rebased timestamp.
+func (t *Trace) Clip(from, to float64) (*Trace, error) {
+	if math.IsNaN(from) || math.IsInf(from, 0) || math.IsNaN(to) || math.IsInf(to, 0) {
+		return nil, fmt.Errorf("trace: non-finite clip window [%g, %g)", from, to)
+	}
 	lo := sort.SearchFloat64s(t.Times, from)
 	hi := sort.SearchFloat64s(t.Times, to)
 	if hi < lo {
@@ -97,16 +102,34 @@ func (t *Trace) Clip(from, to float64) *Trace {
 	for i, x := range t.Times[lo:hi] {
 		out[i] = x - from
 	}
-	return &Trace{Times: out}
+	return &Trace{Times: out}, nil
 }
+
+// MaxRateBins caps the histogram RatePerSecond will allocate (2^22
+// one-second bins ≈ 48 simulated days — far beyond any replayed
+// campaign). The cap exists because traces now arrive from user files:
+// a single far-future timestamp (1e12) would otherwise demand a
+// terabyte-scale allocation, and int(x) on a value beyond the int range
+// is undefined-width overflow.
+const MaxRateBins = 1 << 22
 
 // RatePerSecond buckets arrivals into 1-second bins and returns the
 // per-bin counts — the load signal the provisioning case study monitors.
-func (t *Trace) RatePerSecond() []int {
+// The trace is validated first (finite, nonnegative, nondecreasing) and
+// the bin count is capped at MaxRateBins; longer traces should be
+// Clipped to the window of interest.
+func (t *Trace) RatePerSecond() ([]int, error) {
 	if len(t.Times) == 0 {
-		return nil
+		return nil, nil
 	}
-	n := int(t.Duration()) + 1
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	d := t.Duration()
+	if d >= MaxRateBins {
+		return nil, fmt.Errorf("trace: duration %gs exceeds the %d-bin histogram cap; Clip the window first", d, MaxRateBins)
+	}
+	n := int(d) + 1
 	bins := make([]int, n)
 	for _, x := range t.Times {
 		idx := int(x)
@@ -115,7 +138,7 @@ func (t *Trace) RatePerSecond() []int {
 		}
 		bins[idx]++
 	}
-	return bins
+	return bins, nil
 }
 
 // Write emits the trace as one timestamp per line with 6-digit precision.
@@ -129,9 +152,25 @@ func (t *Trace) Write(w io.Writer) error {
 	return bw.Flush()
 }
 
+// DefaultMaxArrivals bounds how many arrivals Read accepts (40 MB of
+// timestamps — generously above the paper's replayed traces) so a
+// pathological or hostile input file cannot exhaust memory.
+const DefaultMaxArrivals = 5_000_000
+
 // Read parses a trace from one-timestamp-per-line text. Blank lines and
-// lines starting with '#' are skipped. The result is validated.
+// lines starting with '#' are skipped. The result is validated and
+// capped at DefaultMaxArrivals (use ReadCapped to choose the bound).
 func Read(r io.Reader) (*Trace, error) {
+	return ReadCapped(r, DefaultMaxArrivals)
+}
+
+// ReadCapped is Read with an explicit arrival-count bound: an input
+// with more than max timestamps errors instead of growing without
+// limit. max <= 0 means DefaultMaxArrivals.
+func ReadCapped(r io.Reader, max int) (*Trace, error) {
+	if max <= 0 {
+		max = DefaultMaxArrivals
+	}
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
 	var times []float64
@@ -145,6 +184,9 @@ func Read(r io.Reader) (*Trace, error) {
 		v, err := strconv.ParseFloat(s, 64)
 		if err != nil {
 			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		if len(times) >= max {
+			return nil, fmt.Errorf("trace: line %d: more than %d arrivals", line, max)
 		}
 		times = append(times, v)
 	}

@@ -29,7 +29,11 @@ func TestTraceBasics(t *testing.T) {
 
 func TestEmptyTrace(t *testing.T) {
 	tr := &Trace{}
-	if tr.Duration() != 0 || tr.MeanRate() != 0 || tr.RatePerSecond() != nil {
+	bins, err := tr.RatePerSecond()
+	if err != nil {
+		t.Fatalf("RatePerSecond: %v", err)
+	}
+	if tr.Duration() != 0 || tr.MeanRate() != 0 || bins != nil {
 		t.Error("empty trace should report zeros")
 	}
 	if err := tr.Validate(); err != nil {
@@ -65,7 +69,10 @@ func TestScale(t *testing.T) {
 
 func TestClip(t *testing.T) {
 	tr := &Trace{Times: []float64{0, 1, 2, 3, 4, 5}}
-	c := tr.Clip(2, 5)
+	c, err := tr.Clip(2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
 	want := []float64{0, 1, 2}
 	if len(c.Times) != 3 {
 		t.Fatalf("Clip len = %d", len(c.Times))
@@ -79,7 +86,10 @@ func TestClip(t *testing.T) {
 
 func TestRatePerSecond(t *testing.T) {
 	tr := &Trace{Times: []float64{0.1, 0.9, 1.5, 3.2, 3.8}}
-	bins := tr.RatePerSecond()
+	bins, err := tr.RatePerSecond()
+	if err != nil {
+		t.Fatal(err)
+	}
 	want := []int{2, 1, 0, 2}
 	if len(bins) != 4 {
 		t.Fatalf("bins = %v", bins)
@@ -88,6 +98,52 @@ func TestRatePerSecond(t *testing.T) {
 		if b != want[i] {
 			t.Errorf("bin %d = %d, want %d", i, b, want[i])
 		}
+	}
+}
+
+// TestRatePerSecondGuards is the regression test for the OOM/overflow
+// bug: a loaded trace with one far-future timestamp (1e12 seconds) used
+// to allocate int(1e12)+1 bins — a multi-terabyte request — and int(x)
+// beyond the int range is undefined-width overflow. Both now error.
+func TestRatePerSecondGuards(t *testing.T) {
+	farFuture := &Trace{Times: []float64{0.5, 1e12}}
+	if _, err := farFuture.RatePerSecond(); err == nil {
+		t.Error("far-future timestamp did not error (would have allocated ~1e12 bins)")
+	}
+	beyondInt := &Trace{Times: []float64{1e300}}
+	if _, err := beyondInt.RatePerSecond(); err == nil {
+		t.Error("timestamp beyond int range did not error")
+	}
+	// Invalid traces (hand-built, never passed Validate) error instead
+	// of indexing negative bins.
+	negative := &Trace{Times: []float64{-3, 1}}
+	if _, err := negative.RatePerSecond(); err == nil {
+		t.Error("negative timestamp did not error")
+	}
+	nan := &Trace{Times: []float64{math.NaN()}}
+	if _, err := nan.RatePerSecond(); err == nil {
+		t.Error("NaN timestamp did not error")
+	}
+	// The cap boundary: just under MaxRateBins works, at the cap errors.
+	ok := &Trace{Times: []float64{float64(MaxRateBins) - 1}}
+	if bins, err := ok.RatePerSecond(); err != nil || len(bins) != MaxRateBins {
+		t.Errorf("duration just under cap: bins=%d err=%v", len(bins), err)
+	}
+	at := &Trace{Times: []float64{float64(MaxRateBins)}}
+	if _, err := at.RatePerSecond(); err == nil {
+		t.Error("duration at the cap did not error")
+	}
+}
+
+// TestReadCapped: the file-loading path refuses inputs beyond the
+// arrival cap instead of growing without bound.
+func TestReadCapped(t *testing.T) {
+	if _, err := ReadCapped(strings.NewReader("1\n2\n3\n"), 2); err == nil {
+		t.Error("3 arrivals accepted under a cap of 2")
+	}
+	tr, err := ReadCapped(strings.NewReader("1\n2\n"), 2)
+	if err != nil || tr.Len() != 2 {
+		t.Errorf("cap-sized input rejected: %v", err)
 	}
 }
 
@@ -143,7 +199,10 @@ func TestSyntheticWikipediaShape(t *testing.T) {
 		t.Errorf("mean rate = %v, want ~50", rate)
 	}
 	// The diurnal swing must be visible: smoothed max/min rate ratio > 1.3.
-	bins := tr.RatePerSecond()
+	bins, err := tr.RatePerSecond()
+	if err != nil {
+		t.Fatal(err)
+	}
 	window := 50
 	var smoothed []float64
 	for i := 0; i+window <= len(bins); i += window {
@@ -188,7 +247,10 @@ func TestSyntheticNLANRBursty(t *testing.T) {
 	}
 	// Burstiness check: index of dispersion of per-second counts should
 	// exceed 1 (Poisson would be ~1).
-	bins := tr.RatePerSecond()
+	bins, err := tr.RatePerSecond()
+	if err != nil {
+		t.Fatal(err)
+	}
 	var sum, sumSq float64
 	for _, b := range bins {
 		sum += float64(b)
@@ -232,7 +294,10 @@ func TestClipProperty(t *testing.T) {
 		if from > to {
 			from, to = to, from
 		}
-		c := tr.Clip(from, to)
+		c, err := tr.Clip(from, to)
+		if err != nil {
+			return false
+		}
 		for _, x := range c.Times {
 			if x < 0 || x >= to-from {
 				return false
