@@ -122,6 +122,9 @@ func loadFile(path string) ([]loaded, bool, error) {
 		if tf := out[i].s.Arrival.TraceFile; tf != "" && !filepath.IsAbs(tf) {
 			out[i].s.Arrival.TraceFile = filepath.Join(dir, tf)
 		}
+		if tf := out[i].s.Faults.TraceFile; tf != "" && !filepath.IsAbs(tf) {
+			out[i].s.Faults.TraceFile = filepath.Join(dir, tf)
+		}
 	}
 	return out, isMatrix, nil
 }
@@ -227,7 +230,7 @@ func runScenarios(scenarios []loaded, opts runner.Options) (string, int, error) 
 	}
 
 	var b strings.Builder
-	b.WriteString("label\trep\tseed\tend_s\tgenerated\tcompleted\tlost\tmean_ms\tp50_ms\tp95_ms\tp99_ms\tserver_J\tnetwork_J\tviolations\n")
+	b.WriteString("label\trep\tseed\tend_s\tgenerated\tcompleted\tlost\tmean_ms\tp50_ms\tp95_ms\tp99_ms\tserver_J\tnetwork_J\tjobs_lost_drop\tjobs_lost_outage\ttasks_aborted\tfaults_applied\tviolations\n")
 	violations := 0
 	for i, l := range scenarios {
 		for rep := 0; rep < reps; rep++ {
@@ -251,11 +254,20 @@ func writeRow(b *strings.Builder, label string, rep int, seed uint64, res scenar
 		p95 = r.Latency.Percentile(95) * 1e3
 		p99 = r.Latency.Percentile(99) * 1e3
 	}
-	fmt.Fprintf(b, "%s\t%d\t%d\t%g\t%d\t%d\t%d\t%g\t%g\t%g\t%g\t%g\t%g\t%d\n",
+	// Fault-ledger columns render zero on fault-free runs (no ledger is
+	// attached at all), so fault-free TSV stays column-compatible.
+	var lostDrop, lostOutage, applied int64
+	if r.Faults != nil {
+		lostDrop = r.Faults.JobsLostCrash
+		lostOutage = r.Faults.JobsLostNoAlive
+		applied = int64(r.Faults.Applied())
+	}
+	fmt.Fprintf(b, "%s\t%d\t%d\t%g\t%d\t%d\t%d\t%g\t%g\t%g\t%g\t%g\t%g\t%d\t%d\t%d\t%d\t%d\n",
 		label, rep, seed, r.End.Seconds(),
 		r.JobsGenerated, r.JobsCompleted, r.JobsLost,
 		mean, p50, p95, p99,
-		r.ServerEnergyJ, r.NetworkEnergyJ, len(res.Violations))
+		r.ServerEnergyJ, r.NetworkEnergyJ,
+		lostDrop, lostOutage, r.TasksAborted, applied, len(res.Violations))
 }
 
 // exportHeader prefixes exported files so the format documents itself.

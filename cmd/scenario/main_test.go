@@ -159,6 +159,45 @@ func TestRunTraceFileScenario(t *testing.T) {
 	}
 }
 
+// TestRunCorrelatedFaultScenario: the checked-in correlated-failure
+// fixture — outage-log replay plus a renewal process and cascades —
+// runs invariant-clean through the CLI, the relative outage traceFile
+// resolves against the scenario file's directory, and the fault-ledger
+// TSV columns carry real counts.
+func TestRunCorrelatedFaultScenario(t *testing.T) {
+	code, out, errw := cli(t, "run", "-check", filepath.Join(testdata, "correlated.json"))
+	if code != 0 {
+		t.Fatalf("run -check failed (%d): %s", code, errw)
+	}
+	rows := strings.Split(strings.TrimSpace(out), "\n")
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows, want header + 1:\n%s", len(rows), out)
+	}
+	head := strings.Split(rows[0], "\t")
+	cols := strings.Split(rows[1], "\t")
+	idx := func(name string) string {
+		t.Helper()
+		for i, h := range head {
+			if h == name {
+				return cols[i]
+			}
+		}
+		t.Fatalf("column %q missing from header: %v", name, head)
+		return ""
+	}
+	if idx("faults_applied") == "0" {
+		t.Fatalf("correlated fixture applied zero faults:\n%s", out)
+	}
+	if idx("violations") != "0" {
+		t.Fatalf("violations in correlated run:\n%s", out)
+	}
+	// Byte-determinism through the CLI: a second run is identical.
+	_, again, _ := cli(t, "run", "-check", filepath.Join(testdata, "correlated.json"))
+	if out != again {
+		t.Fatal("correlated fixture TSV differs across runs")
+	}
+}
+
 // TestTraceFileLabelIgnoresInvocationDir is the regression test for
 // the path-dependent-label bug: the canonical label (and so the
 // replication seeds derived from it) must come from the scenario file
@@ -230,8 +269,8 @@ func TestExportListAndMatrix(t *testing.T) {
 		t.Fatal("export -list failed")
 	}
 	names := strings.Split(strings.TrimSpace(out), "\n")
-	if len(names) != 9 {
-		t.Fatalf("listed %d presets, want 9:\n%s", len(names), out)
+	if len(names) != 10 {
+		t.Fatalf("listed %d presets, want 10:\n%s", len(names), out)
 	}
 	dir := t.TempDir()
 	file := filepath.Join(dir, "m.json")

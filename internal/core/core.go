@@ -299,8 +299,26 @@ func Build(cfg Config) (*DataCenter, error) {
 			links = dc.Net.NumLinks()
 			switches = len(dc.Net.Switches())
 		}
-		tl := spec.Timeline(master.Split("faults"), horizon, cfg.Servers, links, switches)
-		dc.injector = fault.Attach(eng, tl, s, dc.Servers, dc.Net)
+		// Scope-resolution table: derived from the graph when there is
+		// one, fixed server blocks otherwise.
+		var topo *fault.Topo
+		if dc.Graph != nil {
+			topo = fault.NewTopo(topology.NewScopeMap(dc.Graph), cfg.Servers, links, switches)
+		} else {
+			topo = fault.FallbackTopo(cfg.Servers)
+		}
+		tl, err := spec.TimelineFor(master.Split("faults"), horizon, topo)
+		if err != nil {
+			return nil, err
+		}
+		// The cascade stream splits off only when cascades can fire, so
+		// cascade-free specs consume exactly the pre-correlation draws.
+		var cascade *rng.Source
+		if spec.CascadeP > 0 && spec.CascadeDepth > 0 {
+			cascade = master.Split("faults-cascade")
+		}
+		dc.injector = fault.AttachWith(eng, tl, s, dc.Servers, dc.Net,
+			fault.AttachOpts{Topo: topo, Cascade: cascade, Spec: spec})
 	}
 
 	// Invariant checking.
@@ -308,6 +326,7 @@ func Build(cfg Config) (*DataCenter, error) {
 		opts := invariant.Options{Stationary: cfg.CheckStationary}
 		if dc.injector != nil {
 			opts.LostJobsLedger = dc.injector.JobsLost
+			opts.ScopeCheck = dc.injector.CheckScopes
 		}
 		dc.checker = invariant.Attach(eng, dc.Gen, s, dc.Servers, dc.Net, opts)
 	}

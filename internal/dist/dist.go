@@ -96,6 +96,36 @@ func (p Pareto) Mean() float64 {
 
 func (p Pareto) String() string { return fmt.Sprintf("pareto(xm=%g,α=%g)", p.Xm, p.Alpha) }
 
+// Weibull has scale λ (Scale) and shape k (Shape). Shape < 1 models
+// infant-mortality lifetimes, shape 1 reduces to the exponential, and
+// shape > 1 models wear-out — the three regimes MTTF renewal processes
+// draw component lifetimes from. Sampling is by inverse CDF so one
+// uniform draw per sample keeps replay arithmetic stable.
+type Weibull struct {
+	Scale, Shape float64
+}
+
+// WeibullFromMean returns a Weibull with the given shape whose mean is
+// mean (scale = mean / Γ(1+1/k)). Shape <= 0 is treated as shape 1
+// (exponential), the renewal spec's "unset" encoding.
+func WeibullFromMean(mean, shape float64) Weibull {
+	if shape <= 0 {
+		shape = 1
+	}
+	return Weibull{Scale: mean / math.Gamma(1+1/shape), Shape: shape}
+}
+
+// Sample implements Sampler.
+func (w Weibull) Sample(r *rng.Source) float64 {
+	// Inverse CDF: λ·(-ln(1-U))^(1/k). 1-U ∈ (0,1] keeps the log finite.
+	return w.Scale * math.Pow(-math.Log(1-r.Float64()), 1/w.Shape)
+}
+
+// Mean implements Sampler.
+func (w Weibull) Mean() float64 { return w.Scale * math.Gamma(1+1/w.Shape) }
+
+func (w Weibull) String() string { return fmt.Sprintf("weibull(λ=%g,k=%g)", w.Scale, w.Shape) }
+
 // MMPP2 is a 2-state Markov-Modulated Poisson Process (paper Sec. III-D):
 // arrivals are Poisson with rate LambdaH during exponentially distributed
 // bursts of mean MeanBurst seconds, and rate LambdaL during quiet periods

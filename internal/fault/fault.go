@@ -9,6 +9,17 @@
 // requeued, a dead switch silently blackholes the flows crossing it,
 // and the energy books must exclude down time.
 //
+// Beyond independent point faults, the engine models *correlated*
+// failure: blast-radius events whose target is a whole rack, pod, or
+// switch subtree (every component in scope crashes atomically, in
+// deterministic ascending order); MTTF/MTTR renewal processes drawing
+// open-ended per-component failure/repair timelines from Weibull or
+// exponential lifetime distributions, with a repair-crew capacity limit
+// serializing recoveries; cascade rules where an applied crash
+// overload-crashes pod siblings with per-edge probability, delay, and a
+// depth cap; and outage-log replay from recorded `start dur scope
+// target` trace files (see internal/trace.ReadOutages).
+//
 // Determinism contract: a fault timeline is a pure function of (seed,
 // spec, farm shape) — Spec.Timeline draws every fault instant and
 // duration from one labeled rng stream — and the Injector delivers each
@@ -51,6 +62,12 @@ const (
 	LinkRestore
 	SwitchFail
 	SwitchRestore
+	// ScopeDown and ScopeUp are blast-radius events: Target names a
+	// scope instance (rack index, pod index, switch index, or server
+	// index per Event.Scope) and the whole membership goes down or
+	// comes back atomically.
+	ScopeDown
+	ScopeUp
 )
 
 // String implements fmt.Stringer.
@@ -68,6 +85,10 @@ func (k Kind) String() string {
 		return "switch-fail"
 	case SwitchRestore:
 		return "switch-restore"
+	case ScopeDown:
+		return "scope-down"
+	case ScopeUp:
+		return "scope-up"
 	}
 	return fmt.Sprintf("Kind(%d)", int(k))
 }
@@ -82,6 +103,9 @@ type Event struct {
 	Kind   Kind
 	Target int
 	Pair   int
+	// Scope qualifies ScopeDown/ScopeUp events: the failure domain
+	// Target indexes into. Zero (ScopeServer) for point events.
+	Scope ScopeKind
 }
 
 // Timeline is a time-ordered fault schedule.
@@ -115,11 +139,53 @@ type Spec struct {
 	// Orphans selects the crash policy for stranded tasks: requeue
 	// (default) or drop the whole job.
 	Orphans sched.OrphanPolicy `json:"orphans,omitempty"`
+
+	// Blast-radius classes: each draws count scope-down/up pairs whose
+	// target is a whole failure domain, resolved against the topology's
+	// ScopeMap. RackKills takes out a rack's servers plus its ToR;
+	// PodKills a pod's servers plus its switches; SubtreeKills a switch
+	// plus its directly attached servers.
+	RackKills      int     `json:"rackKills,omitempty"`
+	RackDownSec    float64 `json:"rackDownSec,omitempty"`
+	PodKills       int     `json:"podKills,omitempty"`
+	PodDownSec     float64 `json:"podDownSec,omitempty"`
+	SubtreeKills   int     `json:"subtreeKills,omitempty"`
+	SubtreeDownSec float64 `json:"subtreeDownSec,omitempty"`
+
+	// Renewal processes: when a class MTTF is positive, every component
+	// of that class alternates Weibull(WeibullShape)-distributed
+	// lifetimes (mean MTTF) and exponential repairs (mean MTTR) across
+	// the whole horizon. WeibullShape zero or one selects the
+	// exponential lifetime. RepairCrews > 0 bounds concurrent repairs:
+	// a failed component waits for a free crew before its repair clock
+	// starts (zero means unlimited crews).
+	ServerMTTFSec float64 `json:"serverMTTFSec,omitempty"`
+	ServerMTTRSec float64 `json:"serverMTTRSec,omitempty"`
+	SwitchMTTFSec float64 `json:"switchMTTFSec,omitempty"`
+	SwitchMTTRSec float64 `json:"switchMTTRSec,omitempty"`
+	WeibullShape  float64 `json:"weibullShape,omitempty"`
+	RepairCrews   int     `json:"repairCrews,omitempty"`
+
+	// Cascade rules: an applied crash that takes down at least one
+	// server overload-crashes each still-alive pod sibling with
+	// probability CascadeP after a delay drawn around CascadeDelaySec,
+	// recursively up to CascadeDepth levels. Both CascadeP > 0 and
+	// CascadeDepth > 0 are required for cascades to fire.
+	CascadeP        float64 `json:"cascadeP,omitempty"`
+	CascadeDelaySec float64 `json:"cascadeDelaySec,omitempty"`
+	CascadeDepth    int     `json:"cascadeDepth,omitempty"`
+
+	// TraceFile replays a recorded outage log (one `start dur scope
+	// target` event per line; see trace.ReadOutages) on top of any
+	// drawn classes.
+	TraceFile string `json:"traceFile,omitempty"`
 }
 
 // Empty reports whether the spec schedules no faults.
 func (sp Spec) Empty() bool {
-	return sp.ServerCrashes == 0 && sp.LinkFlaps == 0 && sp.SwitchKills == 0
+	return sp.ServerCrashes == 0 && sp.LinkFlaps == 0 && sp.SwitchKills == 0 &&
+		sp.RackKills == 0 && sp.PodKills == 0 && sp.SubtreeKills == 0 &&
+		sp.ServerMTTFSec == 0 && sp.SwitchMTTFSec == 0 && sp.TraceFile == ""
 }
 
 // Zero reports whether the spec is the zero value — not merely
@@ -131,13 +197,29 @@ func (sp Spec) Zero() bool { return sp == Spec{} }
 // Validate rejects malformed specs (negative counts, non-finite or
 // negative durations).
 func (sp Spec) Validate() error {
-	if sp.ServerCrashes < 0 || sp.LinkFlaps < 0 || sp.SwitchKills < 0 {
+	if sp.ServerCrashes < 0 || sp.LinkFlaps < 0 || sp.SwitchKills < 0 ||
+		sp.RackKills < 0 || sp.PodKills < 0 || sp.SubtreeKills < 0 {
 		return fmt.Errorf("fault: negative event count in %+v", sp)
 	}
-	for _, d := range [...]float64{sp.ServerDownSec, sp.LinkDownSec, sp.SwitchDownSec, sp.HorizonSec} {
+	if sp.RepairCrews < 0 || sp.CascadeDepth < 0 {
+		return fmt.Errorf("fault: negative capacity in %+v", sp)
+	}
+	for _, d := range [...]float64{sp.ServerDownSec, sp.LinkDownSec, sp.SwitchDownSec, sp.HorizonSec,
+		sp.RackDownSec, sp.PodDownSec, sp.SubtreeDownSec,
+		sp.ServerMTTFSec, sp.ServerMTTRSec, sp.SwitchMTTFSec, sp.SwitchMTTRSec,
+		sp.WeibullShape, sp.CascadeDelaySec} {
 		if math.IsNaN(d) || math.IsInf(d, 0) || d < 0 {
 			return fmt.Errorf("fault: invalid duration %g", d)
 		}
+	}
+	if math.IsNaN(sp.CascadeP) || sp.CascadeP < 0 || sp.CascadeP > 1 {
+		return fmt.Errorf("fault: cascade probability %g outside [0, 1]", sp.CascadeP)
+	}
+	if sp.ServerMTTFSec > 0 && sp.ServerMTTRSec <= 0 {
+		return fmt.Errorf("fault: server renewal needs a positive MTTR (mttf=%g)", sp.ServerMTTFSec)
+	}
+	if sp.SwitchMTTFSec > 0 && sp.SwitchMTTRSec <= 0 {
+		return fmt.Errorf("fault: switch renewal needs a positive MTTR (mttf=%g)", sp.SwitchMTTFSec)
 	}
 	return nil
 }
@@ -152,8 +234,8 @@ func (sp Spec) String() string {
 		return "nofault"
 	}
 	if sp.Empty() {
-		return fmt.Sprintf("nofault(c%g-l%g-s%g-h%g-%s)",
-			sp.ServerDownSec, sp.LinkDownSec, sp.SwitchDownSec, sp.HorizonSec, sp.Orphans)
+		return fmt.Sprintf("nofault(c%g-l%g-s%g-h%g-%s%s)",
+			sp.ServerDownSec, sp.LinkDownSec, sp.SwitchDownSec, sp.HorizonSec, sp.Orphans, sp.ext())
 	}
 	s := fmt.Sprintf("f%dc%g-%dl%g-%ds%g-%s",
 		sp.ServerCrashes, sp.ServerDownSec,
@@ -162,19 +244,66 @@ func (sp Spec) String() string {
 	if sp.HorizonSec != 0 {
 		s += fmt.Sprintf("-h%g", sp.HorizonSec)
 	}
+	return s + sp.ext()
+}
+
+// ext renders the correlated-model fields as label segments. Every
+// segment appears exactly when its fields are nonzero and carries them
+// at round-trip precision, so the extended label stays injective while
+// pre-correlation specs render byte-identically to before.
+func (sp Spec) ext() string {
+	var s string
+	if sp.RackKills != 0 || sp.RackDownSec != 0 {
+		s += fmt.Sprintf("-%drk%g", sp.RackKills, sp.RackDownSec)
+	}
+	if sp.PodKills != 0 || sp.PodDownSec != 0 {
+		s += fmt.Sprintf("-%dpd%g", sp.PodKills, sp.PodDownSec)
+	}
+	if sp.SubtreeKills != 0 || sp.SubtreeDownSec != 0 {
+		s += fmt.Sprintf("-%dst%g", sp.SubtreeKills, sp.SubtreeDownSec)
+	}
+	if sp.ServerMTTFSec != 0 || sp.ServerMTTRSec != 0 {
+		s += fmt.Sprintf("-mttf%g:%g", sp.ServerMTTFSec, sp.ServerMTTRSec)
+	}
+	if sp.SwitchMTTFSec != 0 || sp.SwitchMTTRSec != 0 {
+		s += fmt.Sprintf("-swmttf%g:%g", sp.SwitchMTTFSec, sp.SwitchMTTRSec)
+	}
+	if sp.WeibullShape != 0 {
+		s += fmt.Sprintf("-wb%g", sp.WeibullShape)
+	}
+	if sp.RepairCrews != 0 {
+		s += fmt.Sprintf("-crew%d", sp.RepairCrews)
+	}
+	if sp.CascadeP != 0 || sp.CascadeDelaySec != 0 || sp.CascadeDepth != 0 {
+		s += fmt.Sprintf("-casc%g:%g:%d", sp.CascadeP, sp.CascadeDelaySec, sp.CascadeDepth)
+	}
+	if sp.TraceFile != "" {
+		s += fmt.Sprintf("-tf%q", sp.TraceFile)
+	}
 	return s
 }
 
-// Timeline draws the concrete fault schedule: a pure function of the
+// Timeline draws the *point-fault* schedule: a pure function of the
 // rng stream (derive it from the experiment seed with a dedicated
 // label), the horizon, and the farm shape. Classes whose target
 // population is zero (link flaps on a server-only farm) are skipped.
 // Outage instants are uniform over the first 90% of the horizon so a
 // recovery usually lands inside the run; durations are uniform in
-// [0.5, 1.5]× the class mean.
+// [0.5, 1.5]× the class mean. The correlated classes (blast radius,
+// renewal, replay) need topology scope data and file access — use
+// TimelineFor for the full schedule.
 func (sp Spec) Timeline(r *rng.Source, horizonSec float64, servers, links, switches int) Timeline {
 	var tl Timeline
 	pair := 0
+	sp.drawPoint(r, horizonSec, servers, links, switches, &tl, &pair)
+	sortTimeline(&tl)
+	return tl
+}
+
+// drawPoint appends the three point-fault classes in their fixed draw
+// order. This draw sequence is frozen: TimelineFor consumes it first so
+// a pre-correlation spec yields a byte-identical schedule.
+func (sp Spec) drawPoint(r *rng.Source, horizonSec float64, servers, links, switches int, tl *Timeline, pair *int) {
 	draw := func(n int, count int, downSec float64, down, up Kind) {
 		if n <= 0 {
 			return
@@ -183,18 +312,20 @@ func (sp Spec) Timeline(r *rng.Source, horizonSec float64, servers, links, switc
 			at := simtime.FromSeconds(r.Float64() * horizonSec * 0.9)
 			dur := simtime.FromSeconds(downSec * (0.5 + r.Float64()))
 			target := r.IntN(n)
-			tl.Events = append(tl.Events, Event{At: at, Kind: down, Target: target, Pair: pair})
-			tl.Events = append(tl.Events, Event{At: at + dur, Kind: up, Target: target, Pair: pair})
-			pair++
+			tl.Events = append(tl.Events, Event{At: at, Kind: down, Target: target, Pair: *pair})
+			tl.Events = append(tl.Events, Event{At: at + dur, Kind: up, Target: target, Pair: *pair})
+			*pair++
 		}
 	}
 	draw(servers, sp.ServerCrashes, sp.ServerDownSec, ServerCrash, ServerRecover)
 	draw(links, sp.LinkFlaps, sp.LinkDownSec, LinkCut, LinkRestore)
 	draw(switches, sp.SwitchKills, sp.SwitchDownSec, SwitchFail, SwitchRestore)
+}
+
+func sortTimeline(tl *Timeline) {
 	sort.SliceStable(tl.Events, func(i, j int) bool {
 		return tl.Events[i].At < tl.Events[j].At
 	})
-	return tl
 }
 
 // Ledger is the injector's independent account of applied faults and
@@ -212,6 +343,15 @@ type Ledger struct {
 	JobsLostCrash   int64 // jobs retracted by a crash (OrphanDrop)
 	JobsLostNoAlive int64 // jobs retracted for lack of any alive server (OrphanDrop)
 	TasksOrphaned   int64 // task incarnations stranded on crashed servers
+
+	// JobsLostByScope attributes JobsLostCrash to the scope of the
+	// causing down event (indexed by ScopeKind; point server crashes
+	// land on ScopeServer). The scope-consistency invariant law checks
+	// the attribution sums back to JobsLostCrash.
+	JobsLostByScope [NumScopes]int64
+	// CascadeCrashes counts server crashes applied at cascade depth
+	// >= 1 — a subset of ServerCrashes.
+	CascadeCrashes int64
 }
 
 // JobsLost reports total jobs the ledger saw lost.
@@ -233,6 +373,14 @@ type Injector struct {
 	tl      Timeline
 	ledger  Ledger
 
+	// Correlated-model state: scope resolution, the cascade rng (nil
+	// disables cascades), the spec's cascade parameters, and the next
+	// pair id for cascade-scheduled outages (above the timeline's).
+	topo     *Topo
+	cascade  *rng.Source
+	spec     Spec
+	nextPair int
+
 	// downBy records, per target class, which outage pair took a target
 	// down. A restore whose pair does not match is skipped: its own down
 	// event overlapped an earlier outage and was itself skipped, so
@@ -242,17 +390,45 @@ type Injector struct {
 	swDownBy   map[int]int
 }
 
+// AttachOpts carries the correlated-model wiring for AttachWith. The
+// zero value reproduces plain point-fault attachment.
+type AttachOpts struct {
+	// Topo resolves rack/pod/subtree scopes; nil restricts scoped
+	// events to ScopeServer.
+	Topo *Topo
+	// Cascade is the rng stream cascade draws consume; nil disables
+	// cascades regardless of Spec.
+	Cascade *rng.Source
+	// Spec supplies the cascade parameters (CascadeP, CascadeDelaySec,
+	// CascadeDepth) and the fallback outage duration for cascade
+	// crashes (ServerDownSec).
+	Spec Spec
+}
+
 // Attach schedules a timeline's events on the engine and wires the
 // ledger's loss subscription. net may be nil (server-only farm);
 // network events are then skipped. Call before the run starts so event
 // ordering is deterministic.
 func Attach(eng *engine.Engine, tl Timeline, sch *sched.Scheduler,
 	servers []*server.Server, net *network.Network) *Injector {
+	return AttachWith(eng, tl, sch, servers, net, AttachOpts{})
+}
+
+// AttachWith is Attach plus the correlated-failure wiring: topology
+// scope resolution and the cascade stream.
+func AttachWith(eng *engine.Engine, tl Timeline, sch *sched.Scheduler,
+	servers []*server.Server, net *network.Network, o AttachOpts) *Injector {
 	inj := &Injector{
 		eng: eng, sch: sch, servers: servers, net: net, tl: tl,
+		topo: o.Topo, cascade: o.Cascade, spec: o.Spec,
 		srvDownBy:  make(map[int]int),
 		linkDownBy: make(map[int]int),
 		swDownBy:   make(map[int]int),
+	}
+	for _, ev := range tl.Events {
+		if ev.Pair >= inj.nextPair {
+			inj.nextPair = ev.Pair + 1
+		}
 	}
 	sch.OnJobLost(func(j *job.Job, reason sched.LostReason) {
 		if reason == sched.LostNoAliveServer {
@@ -261,7 +437,7 @@ func Attach(eng *engine.Engine, tl Timeline, sch *sched.Scheduler,
 	})
 	for _, ev := range tl.Events {
 		ev := ev
-		eng.Schedule(ev.At, func() { inj.apply(ev) })
+		eng.Schedule(ev.At, func() { inj.apply(ev, 0) })
 	}
 	return inj
 }
@@ -279,37 +455,48 @@ func (inj *Injector) JobsLost() int64 { return inj.ledger.JobsLost() }
 // apply delivers one fault event. Events whose target is already in the
 // requested state (or out of range for this farm) are skipped and
 // counted; a restore whose matching down event was skipped is skipped
-// too, so every applied outage runs its full drawn duration.
-func (inj *Injector) apply(ev Event) {
+// too, so every applied outage runs its full drawn duration. depth is
+// the cascade depth of the event (0 for timeline events); an applied
+// crash may trigger dependent failures via the cascade rules.
+func (inj *Injector) apply(ev Event, depth int) {
 	switch ev.Kind {
 	case ServerCrash:
 		if ev.Target >= len(inj.servers) || inj.servers[ev.Target].Failed() {
 			inj.ledger.Skipped++
 			return
 		}
-		lost, orphans := inj.sch.ServerCrashed(inj.servers[ev.Target])
+		// Ownership is recorded before the crash call: orphan handling can
+		// re-enter the scheduler (and the invariant deep scan) while the
+		// server is already down, and the scope-consistency law requires
+		// every down component to have an owning outage at all times.
 		inj.srvDownBy[ev.Target] = ev.Pair
+		lost, orphans := inj.sch.ServerCrashed(inj.servers[ev.Target])
 		inj.ledger.ServerCrashes++
 		inj.ledger.JobsLostCrash += int64(lost)
+		inj.ledger.JobsLostByScope[ScopeServer] += int64(lost)
 		inj.ledger.TasksOrphaned += int64(orphans)
+		if depth > 0 {
+			inj.ledger.CascadeCrashes++
+		}
+		inj.maybeCascade(ev.Target, depth)
 	case ServerRecover:
 		if ev.Target >= len(inj.servers) || !inj.servers[ev.Target].Failed() ||
 			inj.srvDownBy[ev.Target] != ev.Pair {
 			inj.ledger.Skipped++
 			return
 		}
-		inj.sch.ServerRecovered(inj.servers[ev.Target])
 		delete(inj.srvDownBy, ev.Target)
+		inj.sch.ServerRecovered(inj.servers[ev.Target])
 		inj.ledger.ServerRecovers++
 	case LinkCut:
 		if inj.net == nil || ev.Target >= inj.net.NumLinks() || inj.net.LinkAdminDown(ev.Target) {
 			inj.ledger.Skipped++
 			return
 		}
+		inj.linkDownBy[ev.Target] = ev.Pair
 		if err := inj.net.SetLinkAdmin(ev.Target, false); err != nil {
 			panic(err) // range-checked above
 		}
-		inj.linkDownBy[ev.Target] = ev.Pair
 		inj.ledger.LinkCuts++
 	case LinkRestore:
 		if inj.net == nil || ev.Target >= inj.net.NumLinks() || !inj.net.LinkAdminDown(ev.Target) ||
@@ -317,10 +504,10 @@ func (inj *Injector) apply(ev Event) {
 			inj.ledger.Skipped++
 			return
 		}
+		delete(inj.linkDownBy, ev.Target)
 		if err := inj.net.SetLinkAdmin(ev.Target, true); err != nil {
 			panic(err)
 		}
-		delete(inj.linkDownBy, ev.Target)
 		inj.ledger.LinkRestores++
 	case SwitchFail:
 		sw := inj.switchAt(ev.Target)
@@ -328,10 +515,10 @@ func (inj *Injector) apply(ev Event) {
 			inj.ledger.Skipped++
 			return
 		}
+		inj.swDownBy[ev.Target] = ev.Pair
 		if err := inj.net.SetSwitchAdmin(sw.Node(), false); err != nil {
 			panic(err)
 		}
-		inj.swDownBy[ev.Target] = ev.Pair
 		inj.ledger.SwitchFails++
 	case SwitchRestore:
 		sw := inj.switchAt(ev.Target)
@@ -339,11 +526,15 @@ func (inj *Injector) apply(ev Event) {
 			inj.ledger.Skipped++
 			return
 		}
+		delete(inj.swDownBy, ev.Target)
 		if err := inj.net.SetSwitchAdmin(sw.Node(), true); err != nil {
 			panic(err)
 		}
-		delete(inj.swDownBy, ev.Target)
 		inj.ledger.SwitchRestores++
+	case ScopeDown:
+		inj.applyScopeDown(ev, depth)
+	case ScopeUp:
+		inj.applyScopeUp(ev)
 	}
 }
 

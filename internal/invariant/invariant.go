@@ -33,7 +33,7 @@ type Violation struct {
 	// Law names the violated law ("monotonic-time", "task-conservation",
 	// "energy-closure", "non-negative-queues", "packet-conservation",
 	// "little-exact", "little-ci", "reported-totals", "placement",
-	// "lost-ledger").
+	// "lost-ledger", "scope-consistency").
 	Law    string
 	Detail string
 }
@@ -58,6 +58,12 @@ type Options struct {
 	// cross-checks it against both the checker's own loss observations
 	// and the scheduler's counter.
 	LostJobsLedger func() int64
+	// ScopeCheck, when set, verifies the fault injector's scope
+	// consistency (a dead rack implies every owned member still down;
+	// per-scope loss attribution sums to the crash-loss total). It runs
+	// with every deep scan and at Finalize, reporting a
+	// "scope-consistency" violation on a non-nil error.
+	ScopeCheck func() error
 }
 
 // RelTol is the relative tolerance for floating-point closure laws.
@@ -273,6 +279,11 @@ func (c *Checker) deepScan() {
 	}
 	if q := c.sched.GlobalQueueLen(); q < 0 {
 		c.report("non-negative-queues", "global queue length %d", q)
+	}
+	if c.opts.ScopeCheck != nil {
+		if err := c.opts.ScopeCheck(); err != nil {
+			c.report("scope-consistency", "%v", err)
+		}
 	}
 }
 

@@ -22,8 +22,8 @@ var update = flag.Bool("update", false, "rewrite golden scenario files")
 // entry would document a lie.
 func TestPresetsValidAndRunnable(t *testing.T) {
 	presets := Presets()
-	if len(presets) != 9 {
-		t.Fatalf("%d presets, want 9 (one per paper artifact)", len(presets))
+	if len(presets) != 10 {
+		t.Fatalf("%d presets, want 10 (one per paper artifact plus fault-correlated)", len(presets))
 	}
 	labels := make(map[string]string)
 	for name, s := range presets {

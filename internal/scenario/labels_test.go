@@ -19,7 +19,7 @@ func TestPresetLookup(t *testing.T) {
 		t.Error("unknown preset accepted")
 	}
 	names := PresetNames()
-	if len(names) != 9 || !sort.StringsAreSorted(names) {
+	if len(names) != 10 || !sort.StringsAreSorted(names) {
 		t.Errorf("PresetNames = %v", names)
 	}
 }

@@ -266,5 +266,45 @@ func Random(seed uint64) Scenario {
 			}
 		}
 	}
+
+	// Correlated-failure axes, drawn after every point-fault field so the
+	// draws above keep their historical values for a given seed. Scope
+	// blasts compose with any farm (switchless farms fall back to fixed
+	// rack blocks); subtree kills need real switches.
+	if fr.Bernoulli(0.3) {
+		switch fr.IntN(3) {
+		case 0:
+			s.Faults.RackKills = 1
+			s.Faults.RackDownSec = 0.05 + fr.Float64()*0.3
+		case 1:
+			s.Faults.PodKills = 1
+			s.Faults.PodDownSec = 0.05 + fr.Float64()*0.3
+		case 2:
+			if s.Topology.Kind != TopoNone {
+				s.Faults.SubtreeKills = 1
+				s.Faults.SubtreeDownSec = 0.05 + fr.Float64()*0.3
+			} else {
+				s.Faults.RackKills = 1
+				s.Faults.RackDownSec = 0.05 + fr.Float64()*0.3
+			}
+		}
+	}
+	if fr.Bernoulli(0.25) {
+		// Renewal lifetimes a few times the horizon scale: a handful of
+		// failures per run, never an event storm.
+		s.Faults.ServerMTTFSec = 0.5 + fr.Float64()*2
+		s.Faults.ServerMTTRSec = 0.05 + fr.Float64()*0.2
+		if fr.Bernoulli(0.5) {
+			s.Faults.WeibullShape = 0.8 + fr.Float64()*1.4
+		}
+		if fr.Bernoulli(0.5) {
+			s.Faults.RepairCrews = 1 + fr.IntN(2)
+		}
+	}
+	if fr.Bernoulli(0.2) {
+		s.Faults.CascadeP = 0.3 + fr.Float64()*0.7
+		s.Faults.CascadeDelaySec = 0.02 + fr.Float64()*0.1
+		s.Faults.CascadeDepth = 1 + fr.IntN(2)
+	}
 	return s
 }

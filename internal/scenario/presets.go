@@ -9,13 +9,13 @@ import (
 	"holdcsim/internal/sched"
 )
 
-// Presets returns the nine built-in scenario presets — one per paper
-// artifact (Table I, Figs. 4–13; see DESIGN.md Sec. 1) — sized like the
-// Quick() experiment presets so each runs in well under a second.
-// They are the codec's living documentation: `cmd/scenario export
-// -preset <name>` dumps any of them as a file, so the format is
-// self-demonstrating, and the round-trip suite pins
-// Decode(Encode(p)) == p for all nine.
+// Presets returns the ten built-in scenario presets — one per paper
+// artifact (Table I, Figs. 4–13; see DESIGN.md Sec. 1) plus a
+// correlated-failure showcase — sized like the Quick() experiment
+// presets so each runs in well under a second. They are the codec's
+// living documentation: `cmd/scenario export -preset <name>` dumps any
+// of them as a file, so the format is self-demonstrating, and the
+// round-trip suite pins Decode(Encode(p)) == p for all ten.
 //
 // The map is rebuilt per call; mutate freely.
 func Presets() map[string]Scenario {
@@ -125,6 +125,34 @@ func Presets() map[string]Scenario {
 			Factory:        FactorySpec{Kind: FacSingle, Service: SvcWikipedia},
 			MaxJobs:        200,
 			SwitchSleepSec: -1,
+		},
+		// Correlated failures: a rack blast plus Weibull renewal churn
+		// with one repair crew and overload cascades, on the Table I
+		// fat tree. Exercises every axis of the correlated-failure
+		// engine (DESIGN.md Sec. 9) in one sub-second run.
+		"fault-correlated": {
+			Seed:           114,
+			Topology:       TopologySpec{Kind: TopoFatTree, A: 4},
+			Comm:           core.CommFlow,
+			Servers:        16,
+			Profile:        ProfFourCore,
+			DelayTimerSec:  -1,
+			Placer:         PlacerSpec{Kind: PlLeastLoaded},
+			Arrival:        ArrivalSpec{Kind: ArrPoisson, Rho: 0.4},
+			Factory:        FactorySpec{Kind: FacScatterGather, Service: SvcWebSearch, Width: 2, EdgeBytes: 16 << 10},
+			MaxJobs:        200,
+			SwitchSleepSec: -1,
+			Faults: fault.Spec{
+				RackKills:       1,
+				RackDownSec:     0.3,
+				ServerMTTFSec:   2,
+				ServerMTTRSec:   0.2,
+				WeibullShape:    1.4,
+				RepairCrews:     1,
+				CascadeP:        0.5,
+				CascadeDelaySec: 0.05,
+				CascadeDepth:    2,
+			},
 		},
 		// Fig. 13: switch power-model validation — packet-granularity
 		// transfers across a star so every byte crosses the switch.

@@ -191,6 +191,13 @@ type ArrivalSpec struct {
 	// is rescaled so its mean rate hits the utilization target Rho, the
 	// same composition rule the synthetic traces follow.
 	TraceFile string `json:"traceFile,omitempty"`
+	// ClipFromSec/ClipToSec select a half-open window [from, to) of the
+	// recorded trace to replay (ArrTraceFile only). Clipping happens
+	// before rate-rescaling, so Rho targets the window's own mean rate,
+	// not the full file's. ClipToSec == 0 with ClipFromSec set means
+	// "to the end of the trace".
+	ClipFromSec float64 `json:"clipFromSec,omitempty"`
+	ClipToSec   float64 `json:"clipToSec,omitempty"`
 }
 
 // String implements fmt.Stringer. The rendering is injective: every
@@ -211,6 +218,9 @@ func (a ArrivalSpec) String() string {
 		s = fmt.Sprintf("nlanr%g-t%g", a.Rho, a.TraceSec)
 	case ArrTraceFile:
 		s = fmt.Sprintf("file%g-%q", a.Rho, a.TraceFile)
+		if a.ClipFromSec != 0 || a.ClipToSec != 0 {
+			s += fmt.Sprintf("-c%g:%g", a.ClipFromSec, a.ClipToSec)
+		}
 	default:
 		s = fmt.Sprintf("arr(%d)%g-r%g-t%g-%q", int(a.Kind), a.Rho, a.BurstRatio, a.TraceSec, a.TraceFile)
 		return s
@@ -220,6 +230,9 @@ func (a ArrivalSpec) String() string {
 	deadFile := a.Kind != ArrTraceFile && a.TraceFile != ""
 	if deadBurst || deadTrace || deadFile {
 		s += fmt.Sprintf("(r%g-t%g-%q)", a.BurstRatio, a.TraceSec, a.TraceFile)
+	}
+	if a.Kind != ArrTraceFile && (a.ClipFromSec != 0 || a.ClipToSec != 0) {
+		s += fmt.Sprintf("(c%g:%g)", a.ClipFromSec, a.ClipToSec)
 	}
 	return s
 }
@@ -276,6 +289,22 @@ func (a ArrivalSpec) process(rate float64, r *rng.Source) (workload.ArrivalProce
 		}
 		if tr.Len() == 0 {
 			return nil, fmt.Errorf("scenario: arrival trace %s has no arrivals", a.TraceFile)
+		}
+		if a.ClipFromSec != 0 || a.ClipToSec != 0 {
+			to := a.ClipToSec
+			if to == 0 {
+				// Open-ended window: Clip's upper bound is exclusive, so
+				// nudge past the last timestamp to keep it.
+				to = tr.Duration() + 1
+			}
+			tr, err = tr.Clip(a.ClipFromSec, to)
+			if err != nil {
+				return nil, fmt.Errorf("scenario: arrival trace %s: %w", a.TraceFile, err)
+			}
+			if tr.Len() == 0 {
+				return nil, fmt.Errorf("scenario: arrival trace %s clip window [%g, %g) is empty",
+					a.TraceFile, a.ClipFromSec, to)
+			}
 		}
 		return replayScaled(tr, rate), nil
 	}
@@ -661,6 +690,8 @@ func (s Scenario) nonFiniteField() (string, float64, bool) {
 		{"arrival.rho", s.Arrival.Rho},
 		{"arrival.burstRatio", s.Arrival.BurstRatio},
 		{"arrival.traceSec", s.Arrival.TraceSec},
+		{"arrival.clipFromSec", s.Arrival.ClipFromSec},
+		{"arrival.clipToSec", s.Arrival.ClipToSec},
 		{"durationSec", s.DurationSec},
 		{"switchSleepSec", s.SwitchSleepSec},
 	}
@@ -708,6 +739,20 @@ func (s Scenario) Validate() error {
 	}
 	if s.Arrival.Kind != ArrTraceFile && s.Arrival.TraceFile != "" {
 		return fmt.Errorf("scenario: trace file %q on a %s arrival", s.Arrival.TraceFile, s.Arrival)
+	}
+	if s.Arrival.ClipFromSec != 0 || s.Arrival.ClipToSec != 0 {
+		if s.Arrival.Kind != ArrTraceFile {
+			return fmt.Errorf("scenario: clip window [%g, %g) on a %s arrival",
+				s.Arrival.ClipFromSec, s.Arrival.ClipToSec, s.Arrival)
+		}
+		if s.Arrival.ClipFromSec < 0 || s.Arrival.ClipToSec < 0 {
+			return fmt.Errorf("scenario: negative clip window [%g, %g)",
+				s.Arrival.ClipFromSec, s.Arrival.ClipToSec)
+		}
+		if s.Arrival.ClipToSec != 0 && s.Arrival.ClipToSec <= s.Arrival.ClipFromSec {
+			return fmt.Errorf("scenario: empty clip window [%g, %g)",
+				s.Arrival.ClipFromSec, s.Arrival.ClipToSec)
+		}
 	}
 	if err := s.Faults.Validate(); err != nil {
 		return err

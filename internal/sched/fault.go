@@ -239,40 +239,80 @@ func (s *Scheduler) ServerCrashed(srv *server.Server) (jobsLost, orphans int) {
 	if srv.Failed() {
 		return 0, 0
 	}
-	orphanTasks := srv.Crash()
-	s.downCount++
-	s.tasksAborted += int64(len(orphanTasks))
+	return s.ServersCrashed([]*server.Server{srv})
+}
+
+// ServersCrashed applies a correlated crash to a batch of servers —
+// one blast-radius event. The whole batch goes down first and only
+// then is the orphan policy applied, so a requeued task can never land
+// on a sibling that the same blast is about to kill. Already-failed
+// members are skipped. For a single server the behavior is exactly
+// ServerCrashed's.
+func (s *Scheduler) ServersCrashed(srvs []*server.Server) (jobsLost, orphans int) {
 	lostBefore := s.jobsLost
-	for _, t := range orphanTasks {
-		if t.Job.Lost() || t.Job.Done() {
-			continue // a sibling orphan already retracted the job
-		}
-		if s.cfg.Orphans == OrphanDrop {
-			s.killJob(t.Job, LostServerCrash)
+	type orphanSet struct {
+		id    int
+		tasks []*job.Task
+	}
+	var sets []orphanSet
+	for _, srv := range srvs {
+		if srv.Failed() {
 			continue
 		}
-		// Requeue: release the dead server's commitment and re-admit the
-		// task as if it had just become ready.
-		if s.committed[srv.ID()] > 0 {
-			s.committed[srv.ID()]--
-		}
-		t.State = job.TaskReady
-		t.ReadyAt = s.eng.Now()
-		t.ServerID = -1
-		s.admitReady(t)
+		tasks := srv.Crash()
+		s.downCount++
+		s.tasksAborted += int64(len(tasks))
+		orphans += len(tasks)
+		sets = append(sets, orphanSet{id: srv.ID(), tasks: tasks})
 	}
-	return int(s.jobsLost - lostBefore), len(orphanTasks)
+	for _, set := range sets {
+		for _, t := range set.tasks {
+			if t.Job.Lost() || t.Job.Done() {
+				continue // a sibling orphan already retracted the job
+			}
+			if s.cfg.Orphans == OrphanDrop {
+				s.killJob(t.Job, LostServerCrash)
+				continue
+			}
+			// Requeue: release the dead server's commitment and re-admit
+			// the task as if it had just become ready.
+			if s.committed[set.id] > 0 {
+				s.committed[set.id]--
+			}
+			t.State = job.TaskReady
+			t.ReadyAt = s.eng.Now()
+			t.ServerID = -1
+			s.admitReady(t)
+		}
+	}
+	return int(s.jobsLost - lostBefore), orphans
 }
 
 // ServerRecovered boots a crashed server back into the farm and drains
 // work that waited for it: parked tasks are re-admitted and the global
 // queue is re-scanned. Recovering a healthy server is a no-op.
 func (s *Scheduler) ServerRecovered(srv *server.Server) {
-	if !srv.Failed() {
+	s.ServersRecovered([]*server.Server{srv})
+}
+
+// ServersRecovered boots a batch of crashed servers back into the farm
+// atomically, then drains parked tasks and the global queue once —
+// recovering a rack re-scans waiting work against the whole restored
+// capacity rather than per member. Healthy members are skipped; for a
+// single server the behavior is exactly ServerRecovered's.
+func (s *Scheduler) ServersRecovered(srvs []*server.Server) {
+	recovered := false
+	for _, srv := range srvs {
+		if !srv.Failed() {
+			continue
+		}
+		srv.Recover()
+		s.downCount--
+		recovered = true
+	}
+	if !recovered {
 		return
 	}
-	srv.Recover()
-	s.downCount--
 	if len(s.parked) > 0 {
 		pending := s.parked
 		s.parked = nil
