@@ -69,6 +69,7 @@ func main() {
 		{"engine/churn", benchChurn},
 		{"engine/timer-reset", benchTimerReset},
 		{"network/packet-forwarding", benchPacketForwarding},
+		{"network/fluid-step", benchFluidStep},
 	}
 	for _, bench := range benches {
 		r := testing.Benchmark(bench.fn)
@@ -179,6 +180,38 @@ func benchPacketForwarding(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if err := n.TransferPackets(hosts[0], hosts[15], 1500, nil); err != nil {
 			b.Fatal(err)
+		}
+		eng.Run()
+	}
+}
+
+// benchFluidStep measures the fluid model's rate-sharing step: each
+// iteration runs a contending pair of transfers into one destination
+// plus a disjoint one, driving waterfill re-rates at every flow start
+// and release. This is the per-transfer cost of fluid mode, the
+// counterpart of the per-hop cost packet-forwarding measures.
+func benchFluidStep(b *testing.B) {
+	b.ReportAllocs()
+	g, err := (topology.FatTree{K: 4, RateBps: 10e9}).Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng := engine.New()
+	cfg := network.DefaultConfig(power.DataCenter10G(8))
+	cfg.Model = network.ModelFluid
+	n, err := network.New(eng, g, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	hosts := g.Hosts()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, tr := range [...]struct {
+			src, dst int
+		}{{0, 15}, {1, 15}, {2, 3}} {
+			if err := n.TransferPackets(hosts[tr.src], hosts[tr.dst], 15_000, nil); err != nil {
+				b.Fatal(err)
+			}
 		}
 		eng.Run()
 	}

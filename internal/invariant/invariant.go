@@ -285,6 +285,12 @@ func (c *Checker) deepScan() {
 			c.report("scope-consistency", "%v", err)
 		}
 	}
+	// Flow and packet conservation hold at every callback boundary, in
+	// both network models — not just at Finalize. (The loopback-transfer
+	// bug this would have caught: BytesDelivered billed from a bare
+	// closure with the transfer never counted open, so a scan between
+	// schedule and tick saw delivered > sent.)
+	c.checkNetwork()
 }
 
 // Finalize runs every end-of-run law at virtual time end and returns

@@ -84,14 +84,14 @@ func (n *Network) SetSwitchAdmin(node topology.NodeID, up bool) error {
 		}
 		sw.failed = false
 		for _, lc := range sw.lineCards {
-			lc.state = power.LineCardActive
+			lc.setLCState(power.LineCardActive)
 		}
 		for _, p := range sw.ports {
 			if p.link != nil {
-				p.state = power.PortActive
-				p.armLPI()
+				p.setPortState(power.PortActive)
+				p.link.armLPI()
 			} else {
-				p.state = power.PortOff
+				p.setPortState(power.PortOff)
 			}
 		}
 		sw.recompute()
@@ -113,11 +113,12 @@ func (n *Network) SetSwitchAdmin(node topology.NodeID, up bool) error {
 	sw.wakeEv = engine.Handle{}
 	sw.sleepTmr.Stop()
 	for _, lc := range sw.lineCards {
-		lc.state = power.LineCardOff
+		lc.setLCState(power.LineCardOff)
 	}
 	for _, p := range sw.ports {
-		p.lpiTimer.Stop()
-		p.state = power.PortOff
+		// The shared link LPI timer is left running for the partner
+		// port; a fire against this port is a no-op once it is Off.
+		p.setPortState(power.PortOff)
 	}
 	sw.recompute()
 	for _, p := range sw.ports {

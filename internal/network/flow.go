@@ -24,6 +24,12 @@ type Flow struct {
 	done      func()
 	ev        engine.Handle
 	complete  func() // cached completion callback, rescheduled on every re-rate
+
+	// pktN > 0 marks a fluid-model packet transfer riding this flow: the
+	// transfer's packet-count equivalent, billed to the packet counters
+	// at start and teardown so both network models satisfy the same
+	// conservation laws.
+	pktN int64
 }
 
 // ID reports the flow's identifier.
@@ -65,17 +71,31 @@ func (n *Network) TransferFlow(src, dst topology.NodeID, bytes int64, done func(
 		})
 		return nil
 	}
-	nodes, links, err := n.path(src, dst, id)
+	return n.startFlow(src, dst, bytes, id, done, 0)
+}
+
+// startFlow resolves the route and launches one flow (waking sleeping
+// switches first). pktN > 0 marks a fluid-model packet transfer, which
+// additionally bills the packet counters (see startFluidTransfer).
+func (n *Network) startFlow(src, dst topology.NodeID, bytes, id int64, done func(), pktN int64) error {
+	r, err := n.path(src, dst, id)
 	if err != nil {
 		return err
 	}
-	wait := n.wakePathSwitches(nodes)
+	links := r.links
+	if pktN > 0 {
+		n.openPktTransfers++
+	}
+	wait := n.wakeRoute(r)
 	start := func() {
 		// The started counter moves here, inside the (possibly deferred)
 		// start event: a duration horizon can end the run while a flow
 		// still waits on a switch wake, and a flow that never started
 		// must not count against flow conservation.
 		n.stats.FlowsStarted++
+		if pktN > 0 {
+			n.stats.PacketsSent += pktN
+		}
 		for _, l := range links {
 			if l.isDown() {
 				// The route failed before the flow could start: it fails
@@ -83,6 +103,11 @@ func (n *Network) TransferFlow(src, dst topology.NodeID, bytes int64, done func(
 				// drop, so dependents make progress).
 				n.stats.FlowsCompleted++
 				n.stats.FlowsFailed++
+				if pktN > 0 {
+					n.stats.PacketsDropped += pktN
+					n.fluidDrops += pktN
+					n.openPktTransfers--
+				}
 				if done != nil {
 					done()
 				}
@@ -97,6 +122,7 @@ func (n *Network) TransferFlow(src, dst topology.NodeID, bytes int64, done func(
 			remaining: float64(bytes),
 			last:      n.eng.Now(),
 			done:      done,
+			pktN:      pktN,
 		}
 		f.complete = func() { n.flowComplete(f) }
 		cur := src
@@ -119,6 +145,17 @@ func (n *Network) TransferFlow(src, dst topology.NodeID, bytes int64, done func(
 		start()
 	}
 	return nil
+}
+
+// startFluidTransfer runs a packet-granularity transfer under the fluid
+// model: one max-min fair flow carries the bytes (one arrival and one
+// departure event instead of per-packet chains), while the packet
+// counters are billed as if nPkts packets had crossed — all delivered on
+// completion; on a failure, full MTUs of settled progress count
+// delivered and the remainder dropped, so delivered + dropped == sent
+// holds for every terminal path in both models.
+func (n *Network) startFluidTransfer(src, dst topology.NodeID, bytes, id int64, done func(), nPkts int64) error {
+	return n.startFlow(src, dst, bytes, id, done, nPkts)
 }
 
 // ActiveFlows reports the number of in-flight flows.
@@ -253,11 +290,28 @@ func (n *Network) releaseFlow(f *Flow, failed bool) {
 		l.markIdle()
 	}
 	n.stats.FlowsCompleted++
+	deliveredBytes := int64(f.total)
 	if failed {
 		n.stats.FlowsFailed++
-		n.stats.BytesDelivered += int64(f.total - f.remaining)
-	} else {
-		n.stats.BytesDelivered += int64(f.total)
+		deliveredBytes = int64(f.total - f.remaining)
+	}
+	n.stats.BytesDelivered += deliveredBytes
+	if f.pktN > 0 {
+		// Fluid packet accounting: a completed flow delivers all its
+		// packets; a killed one delivers the full MTUs of settled
+		// progress and drops the rest.
+		del := f.pktN
+		if failed {
+			del = deliveredBytes / n.cfg.MTUBytes
+			if del > f.pktN {
+				del = f.pktN
+			}
+		}
+		drop := f.pktN - del
+		n.stats.PacketsDelivered += del
+		n.stats.PacketsDropped += drop
+		n.fluidDrops += drop
+		n.openPktTransfers--
 	}
 	n.recomputeFlowRates()
 	if f.done != nil {

@@ -1,0 +1,56 @@
+package network
+
+import "fmt"
+
+// NetModel selects how packet-granularity transfers are simulated.
+//
+// ModelPacket is the store-and-forward model: every MTU unit is its own
+// chain of serialize/propagate/forward events, so per-hop queueing,
+// buffer overflows and LPI wake penalties are exact — at a per-packet
+// event cost. ModelFluid folds a packet transfer into one max-min fair
+// flow through the existing waterfill machinery (one arrival and one
+// departure event regardless of size) while still billing the packet
+// counters (PacketsSent/Delivered/Dropped) so the conservation laws and
+// Stats stay comparable across models. DESIGN.md "Network models"
+// documents when the two agree exactly and when only within tolerance.
+type NetModel int
+
+// Network models. The zero value is the packet model, so existing
+// configurations and scenario files are unchanged.
+const (
+	ModelPacket NetModel = iota
+	ModelFluid
+)
+
+// String implements fmt.Stringer.
+func (m NetModel) String() string {
+	switch m {
+	case ModelPacket:
+		return "packet"
+	case ModelFluid:
+		return "fluid"
+	}
+	return fmt.Sprintf("NetModel(%d)", int(m))
+}
+
+// MarshalText implements encoding.TextMarshaler (scenario-file codec).
+func (m NetModel) MarshalText() ([]byte, error) {
+	switch m {
+	case ModelPacket, ModelFluid:
+		return []byte(m.String()), nil
+	}
+	return nil, fmt.Errorf("network: unknown net model %d", int(m))
+}
+
+// UnmarshalText implements encoding.TextUnmarshaler.
+func (m *NetModel) UnmarshalText(b []byte) error {
+	switch string(b) {
+	case "packet":
+		*m = ModelPacket
+	case "fluid":
+		*m = ModelFluid
+	default:
+		return fmt.Errorf("network: unknown net model %q (want packet or fluid)", b)
+	}
+	return nil
+}

@@ -38,6 +38,10 @@ type Config struct {
 	SwitchSleepIdle simtime.Time
 	// ECMP spreads flows across equal-cost paths by flow ID hash.
 	ECMP bool
+	// Model selects the simulation granularity for packet transfers:
+	// per-packet store-and-forward events (the zero value) or the fluid
+	// flow-level approximation (see NetModel).
+	Model NetModel
 }
 
 // DefaultConfig returns sensible defaults: 1500 B MTU, 1 µs switching,
@@ -82,8 +86,40 @@ type Network struct {
 	// callback has not fired yet (packet conservation checking).
 	openPktTransfers int
 
+	// Free lists for the zero-alloc packet fast path: released objects
+	// keep their cached dispatch closures, so reuse schedules no new
+	// allocations (the same pattern as the engine's event pool).
+	pktFree  []*packet
+	xferFree []*pktTransfer
+
+	// routes caches the (src, dst) -> path resolution for non-ECMP
+	// configurations, where the route is independent of the flow id.
+	routes map[routeKey]*route
+
+	// fluidDrops counts packets charged dropped by the fluid model,
+	// which has no egress queues to bill; Drops() folds it in so the
+	// Drops()==PacketsDropped reconciliation holds for both models.
+	fluidDrops int64
+
 	stats Stats
 }
+
+// routeKey indexes the route cache.
+type routeKey struct{ src, dst topology.NodeID }
+
+// route is one cached path resolution. The slices are shared by every
+// transfer between the pair and are never mutated after insertion; sws
+// holds the switches along the path so the wake check on every transfer
+// skips the node-map lookups.
+type route struct {
+	nodes []topology.NodeID
+	links []*linkState
+	sws   []*Switch
+}
+
+// maxCachedRoutes bounds route-cache memory on very large topologies;
+// pairs beyond the cap resolve per call, exactly as before caching.
+const maxCachedRoutes = 1 << 16
 
 // New lays the network over the topology graph: every switch node gets
 // line cards and ports per its profile; every link end attached to a
@@ -97,6 +133,7 @@ func New(eng *engine.Engine, g *topology.Graph, cfg Config) (*Network, error) {
 		g:        g,
 		cfg:      cfg,
 		switches: make(map[topology.NodeID]*Switch),
+		routes:   make(map[routeKey]*route),
 	}
 	profileFor := cfg.ProfileFor
 	if profileFor == nil {
@@ -123,14 +160,19 @@ func New(eng *engine.Engine, g *topology.Graph, cfg Config) (*Network, error) {
 	for i := 0; i < g.NumLinks(); i++ {
 		lk := g.Link(i)
 		ls := &linkState{id: i, a: lk.A, b: lk.B, rateBps: lk.RateBps, net: n}
+		ls.lpiTimer = engine.NewTimer(eng, ls.enterLPI)
 		if sw, ok := n.switches[lk.A]; ok {
 			ls.portA = sw.allocPort(ls)
 		}
 		if sw, ok := n.switches[lk.B]; ok {
 			ls.portB = sw.allocPort(ls)
 		}
-		ls.egressAB = &egressQueue{link: ls, ab: true}
-		ls.egressBA = &egressQueue{link: ls, ab: false}
+		ls.egressAB = newEgressQueue(ls, true)
+		ls.egressBA = newEgressQueue(ls, false)
+		ls.refreshRate()
+		// Connected ports start idle: begin the LPI countdown (a no-op
+		// for host-host links, which have no ports).
+		ls.armLPI()
 		n.links[i] = ls
 	}
 	for _, sw := range n.swList {
@@ -138,7 +180,7 @@ func New(eng *engine.Engine, g *topology.Graph, cfg Config) (*Network, error) {
 		// nothing (matches the paper's base-power measurements, which
 		// exclude unconnected ports).
 		for _, p := range sw.ports[sw.allocated:] {
-			p.state = power.PortOff
+			p.setPortState(power.PortOff)
 		}
 		sw.recompute()
 		sw.maybeSleepArm()
@@ -200,31 +242,42 @@ func (n *Network) SleepingSwitchesOnPath(src, dst topology.NodeID) int {
 }
 
 // path computes the route for a new transfer, honoring ECMP config.
-func (n *Network) path(src, dst topology.NodeID, key int64) ([]topology.NodeID, []*linkState, error) {
+// Without ECMP the route is a pure function of (src, dst), so it is
+// cached: the hot path resolves in one map probe with no allocation.
+// ECMP routes depend on the per-flow hash key and always resolve fresh.
+func (n *Network) path(src, dst topology.NodeID, key int64) (*route, error) {
 	ecmpKey := uint64(0)
 	if n.cfg.ECMP {
 		ecmpKey = uint64(key)*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d
+	} else if r, ok := n.routes[routeKey{src, dst}]; ok {
+		return r, nil
 	}
 	nodes, linkIDs, err := n.g.Path(src, dst, ecmpKey)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
-	links := make([]*linkState, len(linkIDs))
+	r := &route{nodes: nodes, links: make([]*linkState, len(linkIDs))}
 	for i, id := range linkIDs {
-		links[i] = n.links[id]
+		r.links[i] = n.links[id]
 	}
-	return nodes, links, nil
-}
-
-// wakePathSwitches initiates wake on every sleeping switch along the
-// route and reports the time until all are awake (0 if none sleeping).
-func (n *Network) wakePathSwitches(nodes []topology.NodeID) simtime.Time {
-	var wait simtime.Time
 	for _, nd := range nodes {
 		if sw := n.switches[nd]; sw != nil {
-			if d := sw.wake(); d > wait {
-				wait = d
-			}
+			r.sws = append(r.sws, sw)
+		}
+	}
+	if !n.cfg.ECMP && len(n.routes) < maxCachedRoutes {
+		n.routes[routeKey{src, dst}] = r
+	}
+	return r, nil
+}
+
+// wakeRoute initiates wake on every sleeping switch along the route and
+// reports the time until all are awake (0 if none sleeping).
+func (n *Network) wakeRoute(r *route) simtime.Time {
+	var wait simtime.Time
+	for _, sw := range r.sws {
+		if d := sw.wake(); d > wait {
+			wait = d
 		}
 	}
 	return wait
@@ -241,7 +294,18 @@ type linkState struct {
 
 	portA, portB *Port
 
+	// lpiTimer is shared by both end ports: they gain and lose traffic
+	// in lockstep (markActive/maybeSend touch both, markIdle releases
+	// both), so their LPI countdowns always had identical deadlines and
+	// adjacent event seqs — one link-level timer halves the timer events
+	// while preserving the portA-then-portB transition order.
+	lpiTimer *engine.Timer
+
 	nFlowsAB, nFlowsBA int
+
+	// effBytesPerSec caches effectiveRateBps()/8; refreshRate keeps it
+	// current across ALR steps (the only runtime rate changes).
+	effBytesPerSec float64
 
 	egressAB, egressBA *egressQueue
 
@@ -252,8 +316,16 @@ type linkState struct {
 }
 
 // bytesPerSec reports the link's current per-direction capacity in
-// bytes/second (adaptive link rate lowers it).
-func (l *linkState) bytesPerSec() float64 { return l.effectiveRateBps() / 8 }
+// bytes/second (adaptive link rate lowers it). The value is cached on
+// the link; setRateIdx refreshes it whenever an ALR step changes either
+// port's rate, so the serialization hot path skips the two-port probe.
+func (l *linkState) bytesPerSec() float64 { return l.effBytesPerSec }
+
+// refreshRate recomputes the cached effective capacity from the
+// configured rate and the two port ALR settings.
+func (l *linkState) refreshRate() {
+	l.effBytesPerSec = l.effectiveRateBps() / 8
+}
 
 // effectiveRateBps is the configured rate limited by the slower of the
 // two port ALR settings.
@@ -274,6 +346,7 @@ func (l *linkState) effectiveRateBps() float64 {
 
 // markActive registers traffic on the link's ports (either direction).
 func (l *linkState) markActive() {
+	l.lpiTimer.Stop()
 	if l.portA != nil {
 		l.portA.addUser()
 	}
@@ -282,13 +355,44 @@ func (l *linkState) markActive() {
 	}
 }
 
-// markIdle releases one traffic unit from the link's ports.
+// markIdle releases one traffic unit from the link's ports, starting
+// the shared LPI countdown when they drain (both ports drain together;
+// see lpiTimer).
 func (l *linkState) markIdle() {
+	drained := false
 	if l.portA != nil {
 		l.portA.removeUser()
+		drained = l.portA.users == 0
 	}
 	if l.portB != nil {
 		l.portB.removeUser()
+		drained = l.portB.users == 0
+	}
+	if drained {
+		l.armLPI()
+	}
+}
+
+// armLPI starts the link's LPI idle countdown if enabled and at least
+// one end port can still enter LPI.
+func (l *linkState) armLPI() {
+	if l.net.cfg.LPIIdle < 0 {
+		return
+	}
+	if (l.portA == nil || l.portA.sw.failed) && (l.portB == nil || l.portB.sw.failed) {
+		return
+	}
+	l.lpiTimer.Reset(l.net.cfg.LPIIdle)
+}
+
+// enterLPI moves the link's idle ports into Low Power Idle, in the
+// portA-then-portB order the per-port timers used to fire in.
+func (l *linkState) enterLPI() {
+	if l.portA != nil {
+		l.portA.enterLPI()
+	}
+	if l.portB != nil {
+		l.portB.enterLPI()
 	}
 }
 

@@ -7,29 +7,105 @@ import (
 	"holdcsim/internal/topology"
 )
 
+// MaxPacketsPerTransfer caps how many packets one transfer may inject.
+// The count is computed in int64 (a multi-GB payload over a small MTU
+// overflows 32-bit int arithmetic), then validated against this cap so
+// a pathological size/MTU combination fails loudly instead of
+// scheduling billions of events.
+const MaxPacketsPerTransfer = 1 << 30
+
 // packet is one MTU-or-smaller unit traversing a fixed route
 // store-and-forward: at each hop it queues at the egress port, pays
 // serialization (bytes/link-rate, plus LPI wake penalty when the port
 // was idle), propagates, and is forwarded after the switch latency.
+//
+// Packets are pooled on Network.pktFree: the two dispatch closures are
+// created once per pooled object and survive reuse, so a recycled
+// packet schedules its per-hop events with zero allocation. xferGen
+// snapshots the owning transfer's generation; a mismatch at finish
+// means the packet outlived its transfer — a pool-lifetime bug surfaced
+// immediately rather than as silent corruption.
 type packet struct {
-	bytes int64
-	nodes []topology.NodeID
-	links []*linkState
-	hop   int // index of the link currently being traversed
-	xfer  *pktTransfer
+	bytes   int64
+	nodes   []topology.NodeID
+	links   []*linkState
+	hop     int // index of the link currently being traversed
+	xfer    *pktTransfer
+	xferGen uint64
 
-	// arrive and forward are created once per packet and rescheduled at
-	// every hop, so the per-hop engine events allocate nothing.
+	// arrive and forward are created once per pooled packet and
+	// rescheduled at every hop, so the per-hop engine events allocate
+	// nothing.
 	arrive  func() // lands the packet at the far end of the current link
 	forward func() // queues the packet at the next hop's egress
 }
 
-// pktTransfer tracks one packet-mode data transfer.
+// pktTransfer tracks one packet-mode data transfer. Pooled on
+// Network.xferFree with a generation counter bumped on release; the
+// cached start closure is created once and performs the (possibly
+// wake-deferred) injection.
 type pktTransfer struct {
-	total     int
-	delivered int
-	dropped   int
-	done      func()
+	total     int64
+	delivered int64
+	dropped   int64
+
+	bytes int64
+	src   topology.NodeID
+	nodes []topology.NodeID
+	links []*linkState
+	loop  bool // same-node / zero-byte transfer: no route, one logical packet
+	done  func()
+
+	gen   uint64
+	start func() // cached injection callback, scheduled by TransferPackets
+}
+
+// allocPacket pops a pooled packet (or mints one with its dispatch
+// closures) ready for reuse.
+func (n *Network) allocPacket() *packet {
+	if k := len(n.pktFree); k > 0 {
+		p := n.pktFree[k-1]
+		n.pktFree = n.pktFree[:k-1]
+		return p
+	}
+	p := &packet{}
+	p.arrive = func() { n.packetArrived(p) }
+	p.forward = func() { n.packetForward(p) }
+	return p
+}
+
+// releasePacket clears the packet's references and returns it to the
+// pool. The dispatch closures are kept — they are the point of pooling.
+func (n *Network) releasePacket(p *packet) {
+	p.bytes, p.hop = 0, 0
+	p.nodes, p.links = nil, nil
+	p.xfer, p.xferGen = nil, 0
+	n.pktFree = append(n.pktFree, p)
+}
+
+// allocTransfer pops a pooled transfer (or mints one with its cached
+// start closure). Counters are zeroed at release.
+func (n *Network) allocTransfer() *pktTransfer {
+	if k := len(n.xferFree); k > 0 {
+		x := n.xferFree[k-1]
+		n.xferFree = n.xferFree[:k-1]
+		return x
+	}
+	x := &pktTransfer{}
+	x.start = func() { n.startPktTransfer(x) }
+	return x
+}
+
+// releaseTransfer bumps the generation (invalidating any packet that
+// still references this incarnation), clears references, and pools the
+// transfer.
+func (n *Network) releaseTransfer(x *pktTransfer) {
+	x.gen++
+	x.total, x.delivered, x.dropped = 0, 0, 0
+	x.bytes, x.src, x.loop = 0, 0, false
+	x.nodes, x.links = nil, nil
+	x.done = nil
+	n.xferFree = append(n.xferFree, x)
 }
 
 // finishOne accounts packet p reaching its terminal state — delivered or
@@ -39,6 +115,9 @@ type pktTransfer struct {
 // Stats); completion fires regardless so DAG progress cannot deadlock on
 // a full buffer.
 func (x *pktTransfer) finishOne(n *Network, p *packet, delivered bool) {
+	if p.xferGen != x.gen {
+		panic("network: packet finished against a recycled transfer")
+	}
 	if delivered {
 		x.delivered++
 		n.stats.PacketsDelivered++
@@ -47,16 +126,29 @@ func (x *pktTransfer) finishOne(n *Network, p *packet, delivered bool) {
 		x.dropped++
 		n.stats.PacketsDropped++
 	}
+	n.releasePacket(p)
 	if x.delivered+x.dropped == x.total {
-		n.openPktTransfers--
-		if x.done != nil {
-			x.done()
-		}
+		n.finishTransfer(x)
+	}
+}
+
+// finishTransfer closes out a completed transfer: the open count drops
+// and the transfer returns to the pool *before* the owner's callback
+// runs, so a callback that starts new transfers observes consistent
+// conservation state and may even reuse this very object.
+func (n *Network) finishTransfer(x *pktTransfer) {
+	n.openPktTransfers--
+	done := x.done
+	n.releaseTransfer(x)
+	if done != nil {
+		done()
 	}
 }
 
 // TransferPackets sends bytes from src to dst as MTU-sized packets,
 // invoking done when every packet has been delivered (or dropped).
+// Under ModelFluid the transfer instead rides one max-min fair flow
+// (flow.go) with identical byte and packet accounting.
 func (n *Network) TransferPackets(src, dst topology.NodeID, bytes int64, done func()) error {
 	if bytes < 0 {
 		return fmt.Errorf("network: negative transfer size %d", bytes)
@@ -64,45 +156,85 @@ func (n *Network) TransferPackets(src, dst topology.NodeID, bytes int64, done fu
 	id := n.nextFlowID
 	n.nextFlowID++
 	if src == dst || bytes == 0 {
-		n.eng.After(0, func() {
-			n.stats.BytesDelivered += bytes
-			if done != nil {
-				done()
-			}
-		})
+		// Same-node / zero-byte payloads skip the network but are still
+		// first-class transfers: one logical packet, counted open from
+		// the moment of scheduling, delivered on the next event-loop
+		// tick. (They used to bill BytesDelivered from a bare closure
+		// without touching openPktTransfers or PacketsSent, so a deep
+		// scan between schedule and tick saw inconsistent conservation
+		// state.)
+		x := n.allocTransfer()
+		x.total = 1
+		x.bytes = bytes
+		x.loop = true
+		x.done = done
+		n.openPktTransfers++
+		n.eng.After(0, x.start)
 		return nil
 	}
-	nodes, links, err := n.path(src, dst, id)
+	nPkts := (bytes + n.cfg.MTUBytes - 1) / n.cfg.MTUBytes
+	if nPkts > MaxPacketsPerTransfer {
+		return fmt.Errorf("network: transfer of %d bytes needs %d packets at MTU %d (cap %d)",
+			bytes, nPkts, n.cfg.MTUBytes, MaxPacketsPerTransfer)
+	}
+	if n.cfg.Model == ModelFluid {
+		return n.startFluidTransfer(src, dst, bytes, id, done, nPkts)
+	}
+	r, err := n.path(src, dst, id)
 	if err != nil {
 		return err
 	}
-	nPkts := int((bytes + n.cfg.MTUBytes - 1) / n.cfg.MTUBytes)
-	xfer := &pktTransfer{total: nPkts, done: done}
+	x := n.allocTransfer()
+	x.total = nPkts
+	x.bytes = bytes
+	x.src = src
+	x.nodes = r.nodes
+	x.links = r.links
+	x.done = done
 	n.openPktTransfers++
-	wait := n.wakePathSwitches(nodes)
-	n.eng.After(wait, func() {
-		n.stats.PacketsSent += int64(nPkts)
-		rem := bytes
-		for i := 0; i < nPkts; i++ {
-			sz := n.cfg.MTUBytes
-			if rem < sz {
-				sz = rem
-			}
-			rem -= sz
-			p := &packet{bytes: sz, nodes: nodes, links: links, xfer: xfer}
-			p.arrive = func() { n.packetArrived(p) }
-			p.forward = func() {
-				l := p.links[p.hop]
-				l.egress(l.a == p.nodes[p.hop]).enqueue(n, p)
-			}
-			links[0].egress(links[0].a == src).enqueue(n, p)
-		}
-	})
+	wait := n.wakeRoute(r)
+	n.eng.After(wait, x.start)
 	return nil
 }
 
-// egressQueue is the FIFO at one directional link end. busy() feeds the
-// switch idle check.
+// startPktTransfer injects a transfer's packets at the first-hop egress
+// (or completes a loopback transfer). Locals are copied out first: if
+// every packet finishes synchronously (the route is already down), the
+// last finishOne releases x back to the pool mid-loop.
+func (n *Network) startPktTransfer(x *pktTransfer) {
+	if x.loop {
+		n.stats.PacketsSent++
+		x.delivered = 1
+		n.stats.PacketsDelivered++
+		n.stats.BytesDelivered += x.bytes
+		n.finishTransfer(x)
+		return
+	}
+	total, rem := x.total, x.bytes
+	nodes, links := x.nodes, x.links
+	gen := x.gen
+	q := links[0].egress(links[0].a == x.src)
+	n.stats.PacketsSent += total
+	for i := int64(0); i < total; i++ {
+		sz := n.cfg.MTUBytes
+		if rem < sz {
+			sz = rem
+		}
+		rem -= sz
+		p := n.allocPacket()
+		p.bytes = sz
+		p.nodes = nodes
+		p.links = links
+		p.xfer = x
+		p.xferGen = gen
+		q.enqueue(n, p)
+	}
+}
+
+// egressQueue is the FIFO at one directional link end, backed by a
+// power-of-two ring buffer that shrinks back to minRingCap when it
+// drains — one congestion burst no longer pins its high-water capacity
+// for the rest of the run. busy() feeds the switch idle check.
 type egressQueue struct {
 	link *linkState
 	ab   bool // direction A->B
@@ -110,12 +242,57 @@ type egressQueue struct {
 	sending     bool
 	cur         *packet // packet being serialized
 	onWire      func()  // cached serialization-done callback
-	queue       []*packet
+	buf         []*packet
+	head, count int
 	queuedBytes int64
 	drops       int64
 }
 
-func (q *egressQueue) busy() bool { return q.sending || len(q.queue) > 0 }
+// minRingCap is the steady-state ring capacity (power of two).
+const minRingCap = 8
+
+// newEgressQueue builds one directional queue with its cached
+// serialization callback.
+func newEgressQueue(l *linkState, ab bool) *egressQueue {
+	q := &egressQueue{link: l, ab: ab}
+	q.onWire = func() { q.serialized(l.net) }
+	return q
+}
+
+func (q *egressQueue) busy() bool { return q.sending || q.count > 0 }
+
+// push appends a packet to the ring, doubling capacity when full.
+func (q *egressQueue) push(p *packet) {
+	if q.count == len(q.buf) {
+		newCap := len(q.buf) * 2
+		if newCap < minRingCap {
+			newCap = minRingCap
+		}
+		nb := make([]*packet, newCap)
+		for i := 0; i < q.count; i++ {
+			nb[i] = q.buf[(q.head+i)&(len(q.buf)-1)]
+		}
+		q.buf, q.head = nb, 0
+	}
+	q.buf[(q.head+q.count)&(len(q.buf)-1)] = p
+	q.count++
+}
+
+// pop removes and returns the head packet; when the queue drains, any
+// burst-grown backing array is released.
+func (q *egressQueue) pop() *packet {
+	p := q.buf[q.head]
+	q.buf[q.head] = nil
+	q.head = (q.head + 1) & (len(q.buf) - 1)
+	q.count--
+	if q.count == 0 {
+		q.head = 0
+		if len(q.buf) > minRingCap {
+			q.buf = make([]*packet, minRingCap)
+		}
+	}
+	return p
+}
 
 // enqueue adds a packet, dropping it if the link is down or the buffer
 // would overflow.
@@ -131,26 +308,26 @@ func (q *egressQueue) enqueue(n *Network, p *packet) {
 		p.xfer.finishOne(n, p, false)
 		return
 	}
-	q.queue = append(q.queue, p)
+	q.push(p)
 	q.queuedBytes += p.bytes
 	q.maybeSend(n)
 }
 
 // maybeSend starts serializing the head packet if the line is free.
 func (q *egressQueue) maybeSend(n *Network) {
-	if q.sending || len(q.queue) == 0 {
+	if q.sending || q.count == 0 {
 		return
 	}
-	p := q.queue[0]
-	q.queue[0] = nil
-	q.queue = q.queue[1:]
+	p := q.pop()
 	q.queuedBytes -= p.bytes
 	q.sending = true
 	q.cur = p
 
 	l := q.link
 	// Mark both ports busy for the duration of serialization +
-	// propagation; collect the LPI wake penalty.
+	// propagation; collect the LPI wake penalty. The shared LPI timer is
+	// stopped once for the link rather than per port.
+	l.lpiTimer.Stop()
 	var penalty simtime.Time
 	if l.portA != nil {
 		if w := l.portA.addUser(); w > penalty {
@@ -165,9 +342,6 @@ func (q *egressQueue) maybeSend(n *Network) {
 		l.portB.bytesSent += p.bytes
 	}
 	ser := simtime.FromSeconds(float64(p.bytes) / l.bytesPerSec())
-	if q.onWire == nil {
-		q.onWire = func() { q.serialized(q.link.net) }
-	}
 	n.eng.After(penalty+ser, q.onWire)
 }
 
@@ -192,18 +366,24 @@ func (q *egressQueue) serialized(n *Network) {
 }
 
 // dropAll retracts every queued packet (the link went down). In-flight
-// packets drop at their next serialization or arrival event.
+// packets drop at their next serialization or arrival event. Exactly the
+// packets queued at the failure instant drop: completion callbacks fired
+// from finishOne can schedule new transfers, and those must not be
+// swept up.
 func (q *egressQueue) dropAll(n *Network) {
-	if len(q.queue) == 0 {
-		return
-	}
-	pending := q.queue
-	q.queue = nil
-	q.queuedBytes = 0
-	for _, p := range pending {
+	for k := q.count; k > 0; k-- {
+		p := q.pop()
+		q.queuedBytes -= p.bytes
 		q.drops++
 		p.xfer.finishOne(n, p, false)
 	}
+}
+
+// packetForward queues the packet at its current hop's egress — the
+// body of the cached forward closure.
+func (n *Network) packetForward(p *packet) {
+	l := p.links[p.hop]
+	l.egress(l.a == p.nodes[p.hop]).enqueue(n, p)
 }
 
 // packetArrived lands a packet at the far end of its current link.
@@ -228,10 +408,12 @@ func (n *Network) packetArrived(p *packet) {
 	n.eng.After(n.cfg.SwitchLatency, p.forward)
 }
 
-// Drops reports total packets dropped per link — buffer overflows plus
-// link/switch failure losses, each billed to an egress queue.
+// Drops reports total packets dropped — buffer overflows plus
+// link/switch failure losses billed to the egress queues, plus packets
+// the fluid model charged against failed flows (which never touch an
+// egress queue).
 func (n *Network) Drops() int64 {
-	var d int64
+	d := n.fluidDrops
 	for _, l := range n.links {
 		d += l.egressAB.drops + l.egressBA.drops
 	}

@@ -50,10 +50,10 @@ func (n *Network) EnableRateAdaptation(cfg RateAdaptationConfig) {
 				// A port with active users must not step down mid-burst.
 				switch {
 				case util > cfg.HighUtil && p.rateIdx < len(rates)-1:
-					p.rateIdx++
+					p.setRateIdx(p.rateIdx + 1)
 					changed = true
 				case util < cfg.LowUtil && p.users == 0 && p.rateIdx > 0:
-					p.rateIdx--
+					p.setRateIdx(p.rateIdx - 1)
 					changed = true
 				}
 			}

@@ -89,7 +89,7 @@ func TestFlowRatesFollowALRChanges(t *testing.T) {
 	eng.Schedule(100*simtime.Millisecond, func() {
 		for _, p := range sw.ports {
 			if p.link != nil {
-				p.rateIdx = 0
+				p.setRateIdx(0)
 			}
 		}
 		n.recomputeFlowRates()

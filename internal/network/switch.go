@@ -42,7 +42,27 @@ type Switch struct {
 	residency *stats.Residency
 
 	wakeCount int64
+
+	// Memo for the active-state wattage sum, keyed by the packed
+	// line-card/port state vector. stateVec is maintained incrementally
+	// by the setPortState/setRateIdx/setLCState helpers — every state
+	// write goes through them — so a memo probe is one field read. The
+	// cached entries hold results this switch's own summation loop
+	// produced for identical inputs, so hits are bit-identical to
+	// recomputation (the profile is immutable after construction).
+	// memoOK is false when the vector doesn't fit the 64-bit key; the
+	// loop then runs every time.
+	memoOK   bool
+	stateVec uint64
+	memoN    int
+	memoNext int
+	memoKey  [wattsMemoSlots]uint64
+	memoW    [wattsMemoSlots]float64
 }
+
+// wattsMemoSlots bounds the per-switch memo: LPI churn cycles through a
+// handful of vectors, so a tiny ring with linear scan is enough.
+const wattsMemoSlots = 8
 
 func newSwitch(n *Network, node topology.NodeID, prof *power.SwitchProfile) *Switch {
 	sw := &Switch{
@@ -57,13 +77,17 @@ func newSwitch(n *Network, node topology.NodeID, prof *power.SwitchProfile) *Swi
 		for p := 0; p < prof.PortsPerLineCard; p++ {
 			port := &Port{sw: sw, lc: card, idx: lc*prof.PortsPerLineCard + p,
 				state: power.PortActive, rateIdx: len(prof.LinkRatesBps) - 1}
-			port.lpiTimer = engine.NewTimer(n.eng, port.enterLPI)
 			card.ports = append(card.ports, port)
 			sw.ports = append(sw.ports, port)
 		}
 		sw.lineCards = append(sw.lineCards, card)
 	}
 	sw.sleepTmr = engine.NewTimer(n.eng, sw.enterSleep)
+	// 11 ports x 5 bits (2 state + 3 rateIdx+1) + 4 line cards x 2 bits
+	// fills 63 of the key's 64 bits. Larger switches skip the memo.
+	sw.memoOK = len(sw.lineCards) <= 4 && len(sw.ports) <= 11 &&
+		len(prof.LinkRatesBps) <= 7
+	sw.stateVec = sw.buildStateVec()
 	return sw
 }
 
@@ -72,8 +96,6 @@ func (s *Switch) allocPort(l *linkState) *Port {
 	p := s.ports[s.allocated]
 	s.allocated++
 	p.link = l
-	// Unconnected ports never see traffic; arm LPI on connected ones.
-	p.armLPI()
 	return p
 }
 
@@ -143,12 +165,12 @@ func (s *Switch) wake() simtime.Time {
 	s.wakeEv = s.net.eng.After(lat, func() {
 		s.waking = false
 		for _, lc := range s.lineCards {
-			lc.state = power.LineCardActive
+			lc.setLCState(power.LineCardActive)
 		}
 		for _, p := range s.ports {
 			if p.link != nil {
-				p.state = power.PortActive
-				p.armLPI()
+				p.setPortState(power.PortActive)
+				p.link.armLPI()
 			}
 		}
 		s.recompute()
@@ -164,11 +186,13 @@ func (s *Switch) enterSleep() {
 	}
 	s.sleeping = true
 	for _, lc := range s.lineCards {
-		lc.state = power.LineCardSleep
+		lc.setLCState(power.LineCardSleep)
 	}
 	for _, p := range s.ports {
-		p.lpiTimer.Stop()
-		p.state = power.PortOff
+		// The shared link timer is left alone: the partner port may
+		// still need its countdown, and a fire against this port is a
+		// no-op (enterLPI skips non-Active ports).
+		p.setPortState(power.PortOff)
 	}
 	s.recompute()
 }
@@ -216,25 +240,95 @@ func (s *Switch) recompute() {
 		w += float64(s.prof.LineCards) * s.prof.LineCardSleepW
 		label = SwitchStateSleep
 	default:
-		for _, lc := range s.lineCards {
-			switch lc.state {
-			case power.LineCardActive:
-				w += s.prof.LineCardActiveW
-			case power.LineCardSleep:
-				w += s.prof.LineCardSleepW
-			}
-		}
-		for _, p := range s.ports {
-			switch p.state {
-			case power.PortActive:
-				w += s.prof.PortActiveW * s.prof.PortRateScale[p.rateIdx]
-			case power.PortLPI:
-				w += s.prof.PortLPIW
-			}
-		}
+		w = s.activeWatts()
 	}
 	s.meter.SetPower(now, w)
 	s.residency.SetState(now, label)
+}
+
+// buildStateVec packs the full line-card and port state vector into one
+// uint64: port i occupies bits [5i, 5i+5) as state<<3 | rateIdx+1, line
+// card j occupies bits [55+2j, 55+2j+2). Meaningful only when memoOK;
+// after construction the vector is maintained incrementally by the
+// set* helpers, and this builder serves as the test oracle for them.
+func (s *Switch) buildStateVec() uint64 {
+	var key uint64
+	for _, p := range s.ports {
+		key |= (uint64(p.state)<<3 | uint64(p.rateIdx+1)) << (5 * uint(p.idx))
+	}
+	for _, lc := range s.lineCards {
+		key |= uint64(lc.state) << (55 + 2*uint(lc.idx))
+	}
+	return key
+}
+
+// setPortState writes a port power state, keeping the packed vector in
+// sync. All p.state writes after construction must go through here.
+func (p *Port) setPortState(st power.PortState) {
+	p.sw.stateVec ^= (uint64(p.state) ^ uint64(st)) << (5*uint(p.idx) + 3)
+	p.state = st
+}
+
+// setRateIdx writes a port ALR rate index, keeping the packed vector
+// and the link's cached capacity in sync. All p.rateIdx writes after
+// construction must go through here.
+func (p *Port) setRateIdx(idx int) {
+	p.sw.stateVec ^= (uint64(p.rateIdx+1) ^ uint64(idx+1)) << (5 * uint(p.idx))
+	p.rateIdx = idx
+	if p.link != nil {
+		p.link.refreshRate()
+	}
+}
+
+// setLCState writes a line-card power state, keeping the packed vector
+// in sync. All lc.state writes after construction must go through here.
+func (lc *LineCard) setLCState(st power.LineCardState) {
+	lc.sw.stateVec ^= (uint64(lc.state) ^ uint64(st)) << (55 + 2*uint(lc.idx))
+	lc.state = st
+}
+
+// activeWatts sums the non-sleeping draw over line cards and ports,
+// memoized on the exact state vector. Port LPI churn revisits the same
+// few vectors constantly; a memo hit returns the number this very loop
+// computed for those inputs before (the profile is immutable after
+// construction), so metering stays bit-identical while skipping the
+// per-port float walk on the hot path.
+func (s *Switch) activeWatts() float64 {
+	key := s.stateVec
+	if s.memoOK {
+		for i := 0; i < s.memoN; i++ {
+			if s.memoKey[i] == key {
+				return s.memoW[i]
+			}
+		}
+	}
+	w := s.prof.ChassisWatts
+	for _, lc := range s.lineCards {
+		switch lc.state {
+		case power.LineCardActive:
+			w += s.prof.LineCardActiveW
+		case power.LineCardSleep:
+			w += s.prof.LineCardSleepW
+		}
+	}
+	for _, p := range s.ports {
+		switch p.state {
+		case power.PortActive:
+			w += s.prof.PortActiveW * s.prof.PortRateScale[p.rateIdx]
+		case power.PortLPI:
+			w += s.prof.PortLPIW
+		}
+	}
+	if s.memoOK {
+		if s.memoN < wattsMemoSlots {
+			s.memoKey[s.memoN], s.memoW[s.memoN] = key, w
+			s.memoN++
+		} else {
+			s.memoKey[s.memoNext], s.memoW[s.memoNext] = key, w
+			s.memoNext = (s.memoNext + 1) % wattsMemoSlots
+		}
+	}
+	return w
 }
 
 // LineCard groups ports; it sleeps as a unit (paper Fig. 3).
@@ -257,10 +351,9 @@ type Port struct {
 	idx  int
 	link *linkState
 
-	state    power.PortState
-	users    int
-	lpiTimer *engine.Timer
-	rateIdx  int
+	state   power.PortState
+	users   int
+	rateIdx int
 
 	bytesSent  int64 // accumulator for the ALR controller window
 	lpiEntries int64
@@ -284,40 +377,32 @@ func (p *Port) currentRateBps() float64 {
 }
 
 // addUser registers one traffic unit (flow or in-flight packet),
-// reports the wake penalty if the port was in LPI.
+// reports the wake penalty if the port was in LPI. Callers stop the
+// link's shared LPI timer once at the link level before touching either
+// port (markActive, maybeSend).
 func (p *Port) addUser() simtime.Time {
 	p.users++
-	p.lpiTimer.Stop()
 	var penalty simtime.Time
 	if p.state == power.PortLPI {
 		penalty = p.sw.prof.PortWake.Latency
 	}
 	if p.state != power.PortActive {
-		p.state = power.PortActive
+		p.setPortState(power.PortActive)
 		p.sw.recompute()
 	}
 	return penalty
 }
 
-// removeUser releases one traffic unit; the LPI countdown starts when
-// the port drains.
+// removeUser releases one traffic unit; markIdle starts the link's LPI
+// countdown when the port drains.
 func (p *Port) removeUser() {
 	if p.users <= 0 {
 		panic("network: port user underflow")
 	}
 	p.users--
 	if p.users == 0 {
-		p.armLPI()
 		p.sw.maybeSleepArm()
 	}
-}
-
-// armLPI starts the LPI idle countdown if enabled.
-func (p *Port) armLPI() {
-	if p.sw.net.cfg.LPIIdle < 0 || p.link == nil || p.sw.failed {
-		return
-	}
-	p.lpiTimer.Reset(p.sw.net.cfg.LPIIdle)
 }
 
 // enterLPI moves the idle port into Low Power Idle.
@@ -325,7 +410,7 @@ func (p *Port) enterLPI() {
 	if p.users > 0 || p.state != power.PortActive {
 		return
 	}
-	p.state = power.PortLPI
+	p.setPortState(power.PortLPI)
 	p.lpiEntries++
 	p.sw.recompute()
 }

@@ -3,6 +3,7 @@ package scenario
 import (
 	"holdcsim/internal/core"
 	"holdcsim/internal/fault"
+	"holdcsim/internal/network"
 	"holdcsim/internal/rng"
 	"holdcsim/internal/sched"
 	"holdcsim/internal/server"
@@ -18,6 +19,7 @@ type Axes struct {
 	Seeds      []uint64           `json:"seeds,omitempty"`
 	Topologies []TopologySpec     `json:"topologies,omitempty"`
 	Comms      []core.CommMode    `json:"comms,omitempty"`
+	NetModels  []network.NetModel `json:"netModels,omitempty"`
 	Servers    []int              `json:"servers,omitempty"`
 	Profiles   []ProfileKind      `json:"profiles,omitempty"`
 	Queues     []server.QueueMode `json:"queues,omitempty"`
@@ -52,6 +54,10 @@ func (a Axes) Expand(base Scenario) []Scenario {
 	comms := a.Comms
 	if len(comms) == 0 {
 		comms = []core.CommMode{base.Comm}
+	}
+	netModels := a.NetModels
+	if len(netModels) == 0 {
+		netModels = []network.NetModel{base.NetModel}
 	}
 	servers := a.Servers
 	if len(servers) == 0 {
@@ -109,32 +115,35 @@ func (a Axes) Expand(base Scenario) []Scenario {
 											for _, fac := range factories {
 												for _, h := range horizons {
 													for _, fs := range faults {
-														s := base
-														s.Seed = seed
-														s.Topology = topo
-														s.Comm = comm
-														s.Servers = n
-														s.Profile = prof
-														s.Queue = q
-														s.DelayTimerSec = tau
-														s.Heterogeneous = het
-														s.Placer = pl
-														s.Arrival = arr
-														s.Factory = fac
-														s.MaxJobs = h.MaxJobs
-														s.DurationSec = h.DurationSec
-														s.Faults = fs
-														if hosts := topo.Hosts(); topo.Kind != TopoNone && s.Servers > hosts {
-															s.Servers = hosts
+														for _, nm := range netModels {
+															s := base
+															s.Seed = seed
+															s.Topology = topo
+															s.Comm = comm
+															s.NetModel = nm
+															s.Servers = n
+															s.Profile = prof
+															s.Queue = q
+															s.DelayTimerSec = tau
+															s.Heterogeneous = het
+															s.Placer = pl
+															s.Arrival = arr
+															s.Factory = fac
+															s.MaxJobs = h.MaxJobs
+															s.DurationSec = h.DurationSec
+															s.Faults = fs
+															if hosts := topo.Hosts(); topo.Kind != TopoNone && s.Servers > hosts {
+																s.Servers = hosts
+															}
+															// Clamping can collapse two farm
+															// sizes onto the same scenario; run
+															// each distinct scenario once.
+															if seen[s] || s.Validate() != nil {
+																continue
+															}
+															seen[s] = true
+															out = append(out, s)
 														}
-														// Clamping can collapse two farm
-														// sizes onto the same scenario; run
-														// each distinct scenario once.
-														if seen[s] || s.Validate() != nil {
-															continue
-														}
-														seen[s] = true
-														out = append(out, s)
 													}
 												}
 											}
@@ -242,6 +251,14 @@ func Random(seed uint64) Scenario {
 		if s.MaxJobs == 0 || s.MaxJobs > 400 {
 			s.MaxJobs = int64(100 + r.IntN(300))
 		}
+	}
+
+	// Network-model axis, drawn from its own substream so every field
+	// above keeps its historical draw for a given seed. Fluid only
+	// composes with packet comm.
+	nmr := r.Split("netmodel")
+	if s.Comm == core.CommPacket && nmr.Bernoulli(0.3) {
+		s.NetModel = network.ModelFluid
 	}
 
 	// Failure axis, drawn from a dedicated substream so every pre-fault

@@ -608,6 +608,12 @@ type Scenario struct {
 	Topology TopologySpec  `json:"topology"`
 	Comm     core.CommMode `json:"comm"`
 
+	// NetModel selects the packet-transfer simulation granularity
+	// (packet-mode comm only): exact per-packet store-and-forward events,
+	// or the fluid flow-level approximation. The zero value is the packet
+	// model, so existing scenario files and labels are unchanged.
+	NetModel network.NetModel `json:"netModel,omitempty"`
+
 	Servers       int              `json:"servers"`
 	Profile       ProfileKind      `json:"profile"`
 	Queue         server.QueueMode `json:"queue"`
@@ -653,6 +659,9 @@ func (s Scenario) String() string {
 	name := fmt.Sprintf("s%d/%s/%s/n%d-%s/%s-dt%g/%s/%s/%s/j%d-d%g/ss%g",
 		s.Seed, s.Topology, s.Comm, s.Servers, s.Profile, s.Queue, s.DelayTimerSec,
 		s.Placer, s.Arrival, s.Factory, s.MaxJobs, s.DurationSec, s.SwitchSleepSec)
+	if s.NetModel == network.ModelFluid {
+		name += "/fluid"
+	}
 	if s.Heterogeneous {
 		name += "/het"
 	}
@@ -720,6 +729,11 @@ func (s Scenario) Validate() error {
 		}
 	} else if hosts := s.Topology.Hosts(); s.Servers > hosts {
 		return fmt.Errorf("scenario: %d servers exceed %s's %d hosts", s.Servers, s.Topology, hosts)
+	}
+	if s.NetModel == network.ModelFluid && s.Comm != core.CommPacket {
+		// The fluid model approximates *packet* transfers; flow-mode comm
+		// already is fluid, and server-only runs have no network at all.
+		return fmt.Errorf("scenario: fluid network model requires packet comm (have %v)", s.Comm)
 	}
 	isTrace := s.Arrival.Kind == ArrTraceWiki || s.Arrival.Kind == ArrTraceNLANR ||
 		s.Arrival.Kind == ArrTraceFile
@@ -807,6 +821,7 @@ func (s Scenario) Config() (core.Config, error) {
 			swProf = power.DataCenter10G(ports)
 		}
 		ncfg := network.DefaultConfig(swProf)
+		ncfg.Model = s.NetModel
 		if s.SwitchSleepSec >= 0 {
 			ncfg.SwitchSleepIdle = simtime.FromSeconds(s.SwitchSleepSec)
 		} else {

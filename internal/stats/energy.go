@@ -20,7 +20,20 @@ func NewEnergyMeter(name string) *EnergyMeter {
 }
 
 // SetPower records the instantaneous draw w (watts) starting at time t.
-func (m *EnergyMeter) SetPower(t simtime.Time, w float64) { m.tw.Set(t, w) }
+// This is the hot path of every port/line-card power transition: it
+// maintains only what the meter exposes (current value and integral),
+// skipping TimeWeighted's min/max bookkeeping so the accumulate
+// inlines. The integral arithmetic is identical to TimeWeighted.Set.
+func (m *EnergyMeter) SetPower(t simtime.Time, w float64) {
+	tw := &m.tw
+	if !tw.started || t < tw.lastT {
+		tw.setSlow(t, w)
+		return
+	}
+	tw.integral += tw.value * (t - tw.lastT).Seconds()
+	tw.lastT = t
+	tw.value = w
+}
 
 // Power reports the current draw in watts.
 func (m *EnergyMeter) Power() float64 { return m.tw.Value() }

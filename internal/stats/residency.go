@@ -14,6 +14,7 @@ type Residency struct {
 	state   string
 	lastT   simtime.Time
 	t0      simtime.Time
+	cur     simtime.Time // accumulated time in state not yet flushed to dur
 	dur     map[string]simtime.Time
 	started bool
 }
@@ -37,7 +38,17 @@ func (r *Residency) SetState(t simtime.Time, state string) {
 	if t < r.lastT {
 		panic("stats: Residency time went backwards in " + r.name)
 	}
-	r.dur[r.state] += t - r.lastT
+	if state == r.state {
+		// Re-entering the current state needs no map write: the open
+		// interval accumulates in cur and flushes on the next change.
+		// (Simulated time is integer nanoseconds, so splitting the sum
+		// is exact.)
+		r.cur += t - r.lastT
+		r.lastT = t
+		return
+	}
+	r.dur[r.state] += r.cur + (t - r.lastT)
+	r.cur = 0
 	r.lastT = t
 	r.state = state
 }
@@ -49,8 +60,11 @@ func (r *Residency) State() string { return r.state }
 // currently open interval).
 func (r *Residency) DurationTo(state string, t simtime.Time) simtime.Time {
 	d := r.dur[state]
-	if r.started && r.state == state && t > r.lastT {
-		d += t - r.lastT
+	if r.started && r.state == state {
+		d += r.cur
+		if t > r.lastT {
+			d += t - r.lastT
+		}
 	}
 	return d
 }

@@ -214,6 +214,35 @@ func TestResidencyReentry(t *testing.T) {
 	}
 }
 
+// TestResidencyReentryUnflushed pins the same-state fast path: time
+// accumulated by re-entering the current state must be visible through
+// DurationTo, FractionsTo and States *before* any state change flushes
+// it to the duration map.
+func TestResidencyReentryUnflushed(t *testing.T) {
+	r := NewResidency("srv")
+	r.SetState(0, "A")
+	r.SetState(4*simtime.Second, "A")
+	r.SetState(6*simtime.Second, "A")
+	// No transition yet: 6 s of "A" live only in the open interval.
+	if d := r.DurationTo("A", 10*simtime.Second); d != 10*simtime.Second {
+		t.Errorf("A duration = %v, want 10s", d)
+	}
+	if fr := r.FractionsTo(10 * simtime.Second); math.Abs(fr["A"]-1) > 1e-9 {
+		t.Errorf("fractions = %v, want A=1", fr)
+	}
+	if states := r.States(); len(states) != 1 || states[0] != "A" {
+		t.Errorf("States = %v, want [A]", states)
+	}
+	// The flush on a real transition must not double-count.
+	r.SetState(8*simtime.Second, "B")
+	if d := r.DurationTo("A", 10*simtime.Second); d != 8*simtime.Second {
+		t.Errorf("A duration after flush = %v, want 8s", d)
+	}
+	if d := r.DurationTo("B", 10*simtime.Second); d != 2*simtime.Second {
+		t.Errorf("B duration = %v, want 2s", d)
+	}
+}
+
 // Property: residency fractions always sum to ~1 for any transition seq.
 func TestResidencyFractionSumProperty(t *testing.T) {
 	f := func(steps []uint8) bool {

@@ -38,24 +38,31 @@ func (w *TimeWeighted) Start(t simtime.Time, initial float64) {
 
 // Set updates the signal to v at time t, accumulating the integral for the
 // elapsed interval at the previous value. t must not be before the last
-// observation. The first Set acts as Start.
+// observation. The first Set acts as Start. The hot path is kept small
+// enough to inline; power metering calls this on every port transition.
 func (w *TimeWeighted) Set(t simtime.Time, v float64) {
-	if !w.started {
-		w.Start(t, v)
+	if !w.started || t < w.lastT {
+		w.setSlow(t, v)
 		return
-	}
-	if t < w.lastT {
-		panic("stats: TimeWeighted.Set time went backwards in " + w.name)
 	}
 	w.integral += w.value * (t - w.lastT).Seconds()
 	w.lastT = t
 	w.value = v
 	if v < w.min {
 		w.min = v
-	}
-	if v > w.max {
+	} else if v > w.max {
 		w.max = v
 	}
+}
+
+// setSlow handles Set's cold cases: the first observation (acts as
+// Start) and time running backwards (panic).
+func (w *TimeWeighted) setSlow(t simtime.Time, v float64) {
+	if !w.started {
+		w.Start(t, v)
+		return
+	}
+	panic("stats: TimeWeighted.Set time went backwards in " + w.name)
 }
 
 // Adjust adds delta to the current value at time t (convenience for
