@@ -20,6 +20,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
@@ -35,16 +36,25 @@ type cliOpts struct {
 	out   string
 	check bool
 	exec  runner.Options
+	w     io.Writer
 }
 
-func main() {
-	exp := flag.String("exp", "all", "experiment: all|table1|fig4|fig5|fig6|fig8|fig9|fig11|fig12|fig13")
-	quick := flag.Bool("quick", false, "use reduced-scale presets")
-	out := flag.String("out", "", "directory to write TSV series (optional)")
-	workers := flag.Int("workers", 0, "campaign worker pool size (0 = GOMAXPROCS)")
-	reps := flag.Int("reps", 1, "replications per simulation (adds mean/stddev/CI columns)")
-	check := flag.Bool("check", false, "verify runtime invariants (conservation laws) in every simulation")
-	flag.Parse()
+func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
+
+// run executes one CLI invocation; factored from main so tests drive
+// the binary in-process.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	exp := fs.String("exp", "all", "experiment: all|table1|fig4|fig5|fig6|fig8|fig9|fig11|fig12|fig13")
+	quick := fs.Bool("quick", false, "use reduced-scale presets")
+	out := fs.String("out", "", "directory to write TSV series (optional)")
+	workers := fs.Int("workers", 0, "campaign worker pool size (0 = GOMAXPROCS)")
+	reps := fs.Int("reps", 1, "replications per simulation (adds mean/stddev/CI columns)")
+	check := fs.Bool("check", false, "verify runtime invariants (conservation laws) in every simulation")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	runners := map[string]func(cliOpts) error{
 		"table1": runTableI,
@@ -66,15 +76,16 @@ func main() {
 	targets := names
 	if *exp != "all" {
 		if _, ok := runners[*exp]; !ok {
-			fmt.Fprintf(os.Stderr, "unknown experiment %q (have: %s, all)\n",
+			fmt.Fprintf(stderr, "unknown experiment %q (have: %s, all)\n",
 				*exp, strings.Join(names, ", "))
-			os.Exit(2)
+			return 2
 		}
 		targets = []string{*exp}
 	}
 	if *out != "" {
 		if err := os.MkdirAll(*out, 0o755); err != nil {
-			fatal(err)
+			fmt.Fprintln(stderr, "experiments:", err)
+			return 1
 		}
 	}
 	opts := cliOpts{
@@ -82,31 +93,29 @@ func main() {
 		out:   *out,
 		check: *check,
 		exec:  runner.Options{Workers: *workers, Reps: *reps},
+		w:     stdout,
 	}
 	for _, name := range targets {
-		fmt.Printf("==== %s ====\n", name)
+		fmt.Fprintf(stdout, "==== %s ====\n", name)
 		if err := runners[name](opts); err != nil {
-			fatal(fmt.Errorf("%s: %w", name, err))
+			fmt.Fprintf(stderr, "experiments: %s: %v\n", name, err)
+			return 1
 		}
-		fmt.Println()
+		fmt.Fprintln(stdout)
 	}
+	return 0
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "experiments:", err)
-	os.Exit(1)
-}
-
-func emit(out, name string, table fmt.Stringer) error {
+func emit(w io.Writer, out, name string, table fmt.Stringer) error {
 	if out == "" {
-		fmt.Println(table)
+		fmt.Fprintln(w, table)
 		return nil
 	}
 	path := filepath.Join(out, name+".tsv")
 	if err := os.WriteFile(path, []byte(table.String()), 0o644); err != nil {
 		return err
 	}
-	fmt.Println("wrote", path)
+	fmt.Fprintln(w, "wrote", path)
 	return nil
 }
 
@@ -121,10 +130,10 @@ func runTableI(o cliOpts) error {
 	if err != nil {
 		return err
 	}
-	if err := emit(o.out, "table1", r.Features); err != nil {
+	if err := emit(o.w, o.out, "table1", r.Features); err != nil {
 		return err
 	}
-	fmt.Println(r.Summary())
+	fmt.Fprintln(o.w, r.Summary())
 	return nil
 }
 
@@ -139,10 +148,10 @@ func runFig4(o cliOpts) error {
 	if err != nil {
 		return err
 	}
-	if err := emit(o.out, "fig4", r.Series); err != nil {
+	if err := emit(o.w, o.out, "fig4", r.Series); err != nil {
 		return err
 	}
-	fmt.Println(r.Summary())
+	fmt.Fprintln(o.w, r.Summary())
 	return nil
 }
 
@@ -157,7 +166,7 @@ func runFig5(o cliOpts) error {
 	if err != nil {
 		return err
 	}
-	if err := emit(o.out, "fig5", r.Series); err != nil {
+	if err := emit(o.w, o.out, "fig5", r.Series); err != nil {
 		return err
 	}
 	keys := make([]string, 0, len(r.OptimalTau))
@@ -166,7 +175,7 @@ func runFig5(o cliOpts) error {
 	}
 	sort.Strings(keys)
 	for _, k := range keys {
-		fmt.Printf("optimal tau %-18s = %.2g s\n", k, r.OptimalTau[k])
+		fmt.Fprintf(o.w, "optimal tau %-18s = %.2g s\n", k, r.OptimalTau[k])
 	}
 	return nil
 }
@@ -182,11 +191,11 @@ func runFig6(o cliOpts) error {
 	if err != nil {
 		return err
 	}
-	if err := emit(o.out, "fig6", r.Series); err != nil {
+	if err := emit(o.w, o.out, "fig6", r.Series); err != nil {
 		return err
 	}
 	for _, pt := range r.Points {
-		fmt.Printf("%-7s servers=%-3d rho=%.1f: dual saves %5.1f%% vs Active-Idle, %5.1f%% vs single timer\n",
+		fmt.Fprintf(o.w, "%-7s servers=%-3d rho=%.1f: dual saves %5.1f%% vs Active-Idle, %5.1f%% vs single timer\n",
 			pt.Workload, pt.Servers, pt.Rho, pt.ReductionPct, pt.VsSinglePct)
 	}
 	return nil
@@ -203,7 +212,7 @@ func runFig8(o cliOpts) error {
 	if err != nil {
 		return err
 	}
-	return emit(o.out, "fig8", r.Series)
+	return emit(o.w, o.out, "fig8", r.Series)
 }
 
 func runFig9(o cliOpts) error {
@@ -217,10 +226,10 @@ func runFig9(o cliOpts) error {
 	if err != nil {
 		return err
 	}
-	if err := emit(o.out, "fig9", r.Series); err != nil {
+	if err := emit(o.w, o.out, "fig9", r.Series); err != nil {
 		return err
 	}
-	fmt.Printf("delay-timer total %.1f kJ, workload-adaptive total %.1f kJ: %.1f%% saving\n",
+	fmt.Fprintf(o.w, "delay-timer total %.1f kJ, workload-adaptive total %.1f kJ: %.1f%% saving\n",
 		r.TimerTotalJ/1e3, r.AdaptiveTotalJ/1e3, r.SavingPct)
 	return nil
 }
@@ -236,7 +245,7 @@ func runFig11(o cliOpts) error {
 	if err != nil {
 		return err
 	}
-	if err := emit(o.out, "fig11a", r.Series); err != nil {
+	if err := emit(o.w, o.out, "fig11a", r.Series); err != nil {
 		return err
 	}
 	rhos := make([]float64, 0, len(r.ServerSavingPct))
@@ -245,10 +254,10 @@ func runFig11(o cliOpts) error {
 	}
 	sort.Float64s(rhos)
 	for _, rho := range rhos {
-		fmt.Printf("rho=%.0f%%: server power saving %.1f%%, network power saving %.1f%%\n",
+		fmt.Fprintf(o.w, "rho=%.0f%%: server power saving %.1f%%, network power saving %.1f%%\n",
 			rho*100, r.ServerSavingPct[rho], r.NetworkSavingPct[rho])
 	}
-	return emit(o.out, "fig11b", r.CDFTable())
+	return emit(o.w, o.out, "fig11b", r.CDFTable())
 }
 
 func runFig12(o cliOpts) error {
@@ -263,11 +272,11 @@ func runFig12(o cliOpts) error {
 		return err
 	}
 	if o.out != "" {
-		if err := emit(o.out, "fig12", r.Series); err != nil {
+		if err := emit(o.w, o.out, "fig12", r.Series); err != nil {
 			return err
 		}
 	}
-	fmt.Println(r.Summary())
+	fmt.Fprintln(o.w, r.Summary())
 	return nil
 }
 
@@ -283,19 +292,19 @@ func runFig13(o cliOpts) error {
 		return err
 	}
 	if o.out != "" {
-		if err := emit(o.out, "fig13", r.Series); err != nil {
+		if err := emit(o.w, o.out, "fig13", r.Series); err != nil {
 			return err
 		}
 		// Fig. 14's two representative 20-minute segments.
-		if err := emit(o.out, "fig14a", r.Segment(
+		if err := emit(o.w, o.out, "fig14a", r.Segment(
 			"Fig. 14a: switch power trace, segment 1 (80-100 min)", 80*60, 100*60)); err != nil {
 			return err
 		}
-		if err := emit(o.out, "fig14b", r.Segment(
+		if err := emit(o.w, o.out, "fig14b", r.Segment(
 			"Fig. 14b: switch power trace, segment 2 (40-60 min)", 40*60, 60*60)); err != nil {
 			return err
 		}
 	}
-	fmt.Println(r.Summary())
+	fmt.Fprintln(o.w, r.Summary())
 	return nil
 }

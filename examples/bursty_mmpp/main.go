@@ -9,19 +9,27 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"holdcsim"
 )
 
 func main() {
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(w io.Writer) error {
 	const (
 		servers  = 20
 		meanRate = 2400.0 // arrivals/second, fixed across burst ratios
 	)
 
-	fmt.Printf("MMPP burstiness sweep at fixed mean rate %.0f/s, 20 servers, tau = 0.8 s\n\n", meanRate)
-	fmt.Printf("%6s %12s %10s %10s %12s %10s\n",
+	fmt.Fprintf(w, "MMPP burstiness sweep at fixed mean rate %.0f/s, 20 servers, tau = 0.8 s\n\n", meanRate)
+	fmt.Fprintf(w, "%6s %12s %10s %10s %12s %10s\n",
 		"Ra", "energy(kJ)", "p95(ms)", "p99(ms)", "sys-sleep%", "wakeups")
 
 	for _, ratio := range []float64{1, 5, 20, 50} {
@@ -34,7 +42,7 @@ func main() {
 			lambdaL := meanRate / (frac*ratio + (1 - frac))
 			m, err := holdcsim.NewMMPP2(lambdaL*ratio, lambdaL, frac*10, (1-frac)*10)
 			if err != nil {
-				log.Fatal(err)
+				return err
 			}
 			arrivals = holdcsim.MMPP{Proc: m}
 		}
@@ -54,18 +62,19 @@ func main() {
 		}
 		dc, err := holdcsim.Build(cfg)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		res, err := dc.Run()
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
-		fmt.Printf("%6.0f %12.1f %10.2f %10.2f %11.1f%% %10d\n",
+		fmt.Fprintf(w, "%6.0f %12.1f %10.2f %10.2f %11.1f%% %10d\n",
 			ratio, res.ServerEnergyJ/1e3,
 			res.Latency.Percentile(95)*1e3, res.Latency.Percentile(99)*1e3,
 			res.Residency[holdcsim.StateSysSleep]*100, res.ServerWakeups)
 	}
-	fmt.Println("\nNote the paper's caveat (Sec. IV-B): a single delay timer degrades")
-	fmt.Println("under highly bursty arrivals — tail latency grows with Ra while the")
-	fmt.Println("energy saved by sleeping shrinks.")
+	fmt.Fprintln(w, "\nNote the paper's caveat (Sec. IV-B): a single delay timer degrades")
+	fmt.Fprintln(w, "under highly bursty arrivals — tail latency grows with Ra while the")
+	fmt.Fprintln(w, "energy saved by sleeping shrinks.")
+	return nil
 }

@@ -1,0 +1,23 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRun(t *testing.T) {
+	var out strings.Builder
+	if err := run(&out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "MMPP burstiness sweep") {
+		t.Fatalf("header missing:\n%s", got)
+	}
+	// One table row per burst ratio.
+	for _, ratio := range []string{"     1 ", "     5 ", "    20 ", "    50 "} {
+		if !strings.Contains(got, ratio) {
+			t.Fatalf("row for ratio %q missing:\n%s", strings.TrimSpace(ratio), got)
+		}
+	}
+}

@@ -11,15 +11,23 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"holdcsim"
 )
 
 func main() {
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(w io.Writer) error {
 	const servers = 4
 
-	run := func(mode string) *holdcsim.Results {
+	sim := func(mode string) (*holdcsim.Results, error) {
 		cfg := holdcsim.Config{
 			Seed:         17,
 			Servers:      servers,
@@ -34,7 +42,7 @@ func main() {
 		}
 		dc, err := holdcsim.Build(cfg)
 		if err != nil {
-			log.Fatal(err)
+			return nil, err
 		}
 		switch mode {
 		case "static-P0":
@@ -42,7 +50,7 @@ func main() {
 		case "static-P3":
 			for _, srv := range dc.Servers {
 				if err := srv.SetPState(3); err != nil {
-					log.Fatal(err)
+					return nil, err
 				}
 			}
 		case "governor":
@@ -50,21 +58,21 @@ func main() {
 				holdcsim.NewDVFSGovernor(srv).Start()
 			}
 		}
-		res, err := dc.Run()
-		if err != nil {
-			log.Fatal(err)
-		}
-		return res
+		return dc.Run()
 	}
 
-	fmt.Println("steady 45% load, 4 x 10-core servers, 5 ms deterministic requests")
-	fmt.Printf("\n%-12s %14s %10s %10s\n", "mode", "cpu-energy(J)", "p95(ms)", "p99(ms)")
+	fmt.Fprintln(w, "steady 45% load, 4 x 10-core servers, 5 ms deterministic requests")
+	fmt.Fprintf(w, "\n%-12s %14s %10s %10s\n", "mode", "cpu-energy(J)", "p95(ms)", "p99(ms)")
 	for _, mode := range []string{"static-P0", "static-P3", "governor"} {
-		res := run(mode)
-		fmt.Printf("%-12s %14.1f %10.2f %10.2f\n", mode,
+		res, err := sim(mode)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%-12s %14.1f %10.2f %10.2f\n", mode,
 			res.CPUEnergyJ, res.Latency.Percentile(95)*1e3, res.Latency.Percentile(99)*1e3)
 	}
-	fmt.Println("\nThe governor finds an operating point between the extremes,")
-	fmt.Println("trading some of P0's latency headroom for a sizable share of")
-	fmt.Println("P3's energy saving while keeping tails below P3's.")
+	fmt.Fprintln(w, "\nThe governor finds an operating point between the extremes,")
+	fmt.Fprintln(w, "trading some of P0's latency headroom for a sizable share of")
+	fmt.Fprintln(w, "P3's energy saving while keeping tails below P3's.")
+	return nil
 }

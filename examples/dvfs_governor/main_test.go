@@ -1,0 +1,19 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRun(t *testing.T) {
+	var out strings.Builder
+	if err := run(&out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"static-P0", "static-P3", "governor"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("row %q missing:\n%s", want, got)
+		}
+	}
+}

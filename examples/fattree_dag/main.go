@@ -8,15 +8,23 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"holdcsim"
 )
 
 func main() {
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(w io.Writer) error {
 	const jobs = 600
 
-	run := func(networkAware bool) *holdcsim.Results {
+	sim := func(networkAware bool) (*holdcsim.Results, error) {
 		sc := holdcsim.DefaultServerConfig(holdcsim.FourCoreServer())
 		sc.DelayTimerEnabled = true
 		sc.DelayTimer = holdcsim.Second
@@ -48,27 +56,30 @@ func main() {
 		}
 		dc, err := holdcsim.Build(cfg)
 		if err != nil {
-			log.Fatal(err)
+			return nil, err
 		}
-		res, err := dc.Run()
-		if err != nil {
-			log.Fatal(err)
-		}
-		return res
+		return dc.Run()
 	}
 
-	balanced := run(false)
-	aware := run(true)
+	balanced, err := sim(false)
+	if err != nil {
+		return err
+	}
+	aware, err := sim(true)
+	if err != nil {
+		return err
+	}
 
-	fmt.Printf("%d DAG jobs over a k=4 fat-tree, 25 MB inter-task flows\n\n", jobs)
-	fmt.Printf("%-22s %12s %12s %10s %10s\n", "policy", "server(W)", "network(W)", "p95(ms)", "flows")
-	fmt.Printf("%-22s %12.1f %12.1f %10.1f %10d\n", "server-balanced",
+	fmt.Fprintf(w, "%d DAG jobs over a k=4 fat-tree, 25 MB inter-task flows\n\n", jobs)
+	fmt.Fprintf(w, "%-22s %12s %12s %10s %10s\n", "policy", "server(W)", "network(W)", "p95(ms)", "flows")
+	fmt.Fprintf(w, "%-22s %12.1f %12.1f %10.1f %10d\n", "server-balanced",
 		balanced.MeanServerPowerW, balanced.MeanNetworkPowerW,
 		balanced.Latency.Percentile(95)*1e3, balanced.NetStats.FlowsCompleted)
-	fmt.Printf("%-22s %12.1f %12.1f %10.1f %10d\n", "server-network-aware",
+	fmt.Fprintf(w, "%-22s %12.1f %12.1f %10.1f %10d\n", "server-network-aware",
 		aware.MeanServerPowerW, aware.MeanNetworkPowerW,
 		aware.Latency.Percentile(95)*1e3, aware.NetStats.FlowsCompleted)
-	fmt.Printf("\nsavings: %.1f%% server power, %.1f%% network power\n",
+	fmt.Fprintf(w, "\nsavings: %.1f%% server power, %.1f%% network power\n",
 		100*(balanced.MeanServerPowerW-aware.MeanServerPowerW)/balanced.MeanServerPowerW,
 		100*(balanced.MeanNetworkPowerW-aware.MeanNetworkPowerW)/balanced.MeanNetworkPowerW)
+	return nil
 }

@@ -8,17 +8,26 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 	"strings"
 
 	"holdcsim"
 )
 
 func main() {
+	if err := run(os.Stdout, 600); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// run simulates durationSec seconds of the diurnal trace; the full
+// example uses 600 s, tests shorten it.
+func run(w io.Writer, durationSec float64) error {
 	const (
-		servers     = 50
-		durationSec = 600
-		meanRate    = 6000 // requests/second across the farm
+		servers  = 50
+		meanRate = 6000 // requests/second across the farm
 	)
 
 	// Synthetic Wikipedia-like trace: diurnal swing + jitter + flash
@@ -34,11 +43,11 @@ func main() {
 		Controller:   prov,
 		Arrivals:     holdcsim.NewTraceReplay(tr),
 		Factory:      holdcsim.SingleTask{Service: holdcsim.WikipediaService()},
-		Duration:     durationSec * holdcsim.Second,
+		Duration:     holdcsim.Time(durationSec) * holdcsim.Second,
 	}
 	dc, err := holdcsim.Build(cfg)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	// Sample the active-server count every 10 simulated seconds.
@@ -60,15 +69,16 @@ func main() {
 
 	res, err := dc.Run()
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
-	fmt.Printf("%d jobs served; active servers over time:\n\n", res.JobsCompleted)
-	fmt.Println("  time   jobs  active servers")
+	fmt.Fprintf(w, "%d jobs served; active servers over time:\n\n", res.JobsCompleted)
+	fmt.Fprintln(w, "  time   jobs  active servers")
 	for _, s := range samples {
 		bar := strings.Repeat("#", s.active)
-		fmt.Printf("%5.0fs  %5d  %2d %s\n", s.t.Seconds(), s.jobs, s.active, bar)
+		fmt.Fprintf(w, "%5.0fs  %5d  %2d %s\n", s.t.Seconds(), s.jobs, s.active, bar)
 	}
-	fmt.Printf("\nmean latency %.2f ms, p95 %.2f ms, energy %.0f kJ\n",
+	fmt.Fprintf(w, "\nmean latency %.2f ms, p95 %.2f ms, energy %.0f kJ\n",
 		res.Latency.Mean()*1e3, res.Latency.Percentile(95)*1e3, res.ServerEnergyJ/1e3)
+	return nil
 }

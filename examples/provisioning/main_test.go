@@ -1,0 +1,23 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRun(t *testing.T) {
+	// 60 s of trace instead of the example's 600 s keeps the test fast.
+	var out strings.Builder
+	if err := run(&out, 60); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"jobs served", "active servers", "mean latency"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("output missing %q:\n%s", want, got)
+		}
+	}
+	if !strings.Contains(got, "#") {
+		t.Fatalf("ASCII chart has no bars:\n%s", got)
+	}
+}

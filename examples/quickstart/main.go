@@ -6,12 +6,20 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"holdcsim"
 )
 
 func main() {
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(w io.Writer) error {
 	cfg := holdcsim.Config{
 		Seed:         42,
 		Servers:      16,
@@ -29,22 +37,23 @@ func main() {
 
 	dc, err := holdcsim.Build(cfg)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	res, err := dc.Run()
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
-	fmt.Printf("completed %d jobs in %.0f simulated seconds\n",
+	fmt.Fprintf(w, "completed %d jobs in %.0f simulated seconds\n",
 		res.JobsCompleted, res.End.Seconds())
-	fmt.Printf("latency:  mean %.2f ms   p95 %.2f ms   p99 %.2f ms\n",
+	fmt.Fprintf(w, "latency:  mean %.2f ms   p95 %.2f ms   p99 %.2f ms\n",
 		res.Latency.Mean()*1e3, res.Latency.Percentile(95)*1e3,
 		res.Latency.Percentile(99)*1e3)
-	fmt.Printf("energy:   %.1f kJ total (%.1f W mean)\n",
+	fmt.Fprintf(w, "energy:   %.1f kJ total (%.1f W mean)\n",
 		res.ServerEnergyJ/1e3, res.MeanServerPowerW)
-	fmt.Printf("residency: Active %.1f%%  Idle %.1f%%  PkgC6 %.1f%%\n",
+	fmt.Fprintf(w, "residency: Active %.1f%%  Idle %.1f%%  PkgC6 %.1f%%\n",
 		res.Residency[holdcsim.StateActive]*100,
 		res.Residency[holdcsim.StateIdle]*100,
 		res.Residency[holdcsim.StatePkgC6]*100)
+	return nil
 }

@@ -13,12 +13,20 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"holdcsim"
 )
 
 func main() {
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(w io.Writer) error {
 	const (
 		servers = 10
 		rho     = 0.3
@@ -59,11 +67,11 @@ func main() {
 		}
 		dc, err := holdcsim.Build(cfg)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		res, err := dc.Run()
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		results = append(results, outcome{
 			name:    policy,
@@ -74,14 +82,15 @@ func main() {
 	}
 
 	base := results[0].energyJ
-	fmt.Printf("web search at %.0f%% utilization, QoS target p95 <= %.0f ms\n\n", rho*100, qos*1e3)
-	fmt.Printf("%-14s %10s %9s %8s %11s %6s\n", "policy", "energy(kJ)", "saving", "p95(ms)", "low-power%", "QoS")
+	fmt.Fprintf(w, "web search at %.0f%% utilization, QoS target p95 <= %.0f ms\n\n", rho*100, qos*1e3)
+	fmt.Fprintf(w, "%-14s %10s %9s %8s %11s %6s\n", "policy", "energy(kJ)", "saving", "p95(ms)", "low-power%", "QoS")
 	for _, r := range results {
 		verdict := "MET"
 		if r.p95 > qos {
 			verdict = "MISS"
 		}
-		fmt.Printf("%-14s %10.1f %8.1f%% %8.2f %10.1f%% %6s\n",
+		fmt.Fprintf(w, "%-14s %10.1f %8.1f%% %8.2f %10.1f%% %6s\n",
 			r.name, r.energyJ/1e3, 100*(base-r.energyJ)/base, r.p95*1e3, r.sleep*100, verdict)
 	}
+	return nil
 }

@@ -1,0 +1,22 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRun(t *testing.T) {
+	var out strings.Builder
+	if err := run(&out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"QoS target", "active-idle", "delay-timer", "adaptive"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("output missing %q:\n%s", want, got)
+		}
+	}
+	if !strings.Contains(got, "MET") && !strings.Contains(got, "MISS") {
+		t.Fatalf("no QoS verdict in output:\n%s", got)
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"holdcsim/internal/fault"
 	"holdcsim/internal/invariant"
 	"holdcsim/internal/job"
+	"holdcsim/internal/modelcov"
 	"holdcsim/internal/network"
 	"holdcsim/internal/rng"
 	"holdcsim/internal/sched"
@@ -139,6 +140,14 @@ type Config struct {
 	// law (L = λW within the 95% CI) at the end of the run. Enable only
 	// for runs expected to be near steady state.
 	CheckStationary bool
+
+	// Cover, when non-nil, collects model-state coverage into the given
+	// map: residency transitions, queue-depth buckets, drop sites,
+	// placement and orphan branches, applied fault kinds and cascade
+	// depths (internal/modelcov). Collection is observation-only — an
+	// instrumented run produces byte-identical results — and costs
+	// nothing when nil (each hook is a single nil check).
+	Cover *modelcov.Map
 }
 
 // DataCenter is a built simulation ready to run.
@@ -199,6 +208,7 @@ func Build(cfg Config) (*DataCenter, error) {
 		if err != nil {
 			return nil, fmt.Errorf("core: server %d: %w", i, err)
 		}
+		srv.SetCover(cfg.Cover)
 		dc.Servers[i] = srv
 	}
 
@@ -223,6 +233,7 @@ func Build(cfg Config) (*DataCenter, error) {
 		}
 		dc.Graph = g
 		dc.Net = net
+		net.SetCover(cfg.Cover)
 		dc.hostOf = hosts[:cfg.Servers]
 		switch cfg.CommMode {
 		case CommFlow:
@@ -265,6 +276,7 @@ func Build(cfg Config) (*DataCenter, error) {
 		return nil, err
 	}
 	dc.Sched = s
+	s.SetCover(cfg.Cover)
 	s.OnJobDone(func(j *job.Job) {
 		if j.ArriveAt >= cfg.Warmup {
 			dc.latency.Add(j.Sojourn().Seconds())
@@ -318,7 +330,7 @@ func Build(cfg Config) (*DataCenter, error) {
 			cascade = master.Split("faults-cascade")
 		}
 		dc.injector = fault.AttachWith(eng, tl, s, dc.Servers, dc.Net,
-			fault.AttachOpts{Topo: topo, Cascade: cascade, Spec: spec})
+			fault.AttachOpts{Topo: topo, Cascade: cascade, Spec: spec, Cover: cfg.Cover})
 	}
 
 	// Invariant checking.

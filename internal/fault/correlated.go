@@ -5,6 +5,7 @@ import (
 	"os"
 
 	"holdcsim/internal/dist"
+	"holdcsim/internal/modelcov"
 	"holdcsim/internal/rng"
 	"holdcsim/internal/server"
 	"holdcsim/internal/simtime"
@@ -312,6 +313,8 @@ func (inj *Injector) applyScopeDown(ev Event, depth int) {
 		inj.ledger.Skipped++
 		return
 	}
+	inj.cover.Hit(modelcov.FaultKind(int(ev.Kind)))
+	inj.cover.Hit(modelcov.ScopeDown(int(ev.Scope)))
 	var batch []*server.Server
 	first := -1
 	for _, s := range srvs {
@@ -333,6 +336,7 @@ func (inj *Injector) applyScopeDown(ev Event, depth int) {
 		inj.ledger.TasksOrphaned += int64(orphans)
 		if depth > 0 {
 			inj.ledger.CascadeCrashes += int64(len(batch))
+			inj.cover.Hit(modelcov.CascadeDepth(depth))
 		}
 	}
 	for _, si := range sws {
@@ -361,6 +365,7 @@ func (inj *Injector) applyScopeUp(ev Event) {
 		inj.ledger.Skipped++
 		return
 	}
+	inj.cover.Hit(modelcov.FaultKind(int(ev.Kind)))
 	for _, si := range sws {
 		sw := inj.switchAt(si)
 		if sw == nil || !sw.Failed() || inj.swDownBy[si] != ev.Pair {

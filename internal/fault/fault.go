@@ -42,6 +42,7 @@ import (
 
 	"holdcsim/internal/engine"
 	"holdcsim/internal/job"
+	"holdcsim/internal/modelcov"
 	"holdcsim/internal/network"
 	"holdcsim/internal/rng"
 	"holdcsim/internal/sched"
@@ -388,6 +389,10 @@ type Injector struct {
 	srvDownBy  map[int]int
 	linkDownBy map[int]int
 	swDownBy   map[int]int
+
+	// cover, when non-nil, receives applied-fault-kind, scope, and
+	// cascade-depth coverage features (modelcov; recording only).
+	cover *modelcov.Map
 }
 
 // AttachOpts carries the correlated-model wiring for AttachWith. The
@@ -403,6 +408,9 @@ type AttachOpts struct {
 	// CascadeDepth) and the fallback outage duration for cascade
 	// crashes (ServerDownSec).
 	Spec Spec
+	// Cover, when non-nil, records applied fault kinds, blast-radius
+	// scopes, and cascade depths into the model-state coverage map.
+	Cover *modelcov.Map
 }
 
 // Attach schedules a timeline's events on the engine and wires the
@@ -420,7 +428,7 @@ func AttachWith(eng *engine.Engine, tl Timeline, sch *sched.Scheduler,
 	servers []*server.Server, net *network.Network, o AttachOpts) *Injector {
 	inj := &Injector{
 		eng: eng, sch: sch, servers: servers, net: net, tl: tl,
-		topo: o.Topo, cascade: o.Cascade, spec: o.Spec,
+		topo: o.Topo, cascade: o.Cascade, spec: o.Spec, cover: o.Cover,
 		srvDownBy:  make(map[int]int),
 		linkDownBy: make(map[int]int),
 		swDownBy:   make(map[int]int),
@@ -475,8 +483,10 @@ func (inj *Injector) apply(ev Event, depth int) {
 		inj.ledger.JobsLostCrash += int64(lost)
 		inj.ledger.JobsLostByScope[ScopeServer] += int64(lost)
 		inj.ledger.TasksOrphaned += int64(orphans)
+		inj.cover.Hit(modelcov.FaultKind(int(ev.Kind)))
 		if depth > 0 {
 			inj.ledger.CascadeCrashes++
+			inj.cover.Hit(modelcov.CascadeDepth(depth))
 		}
 		inj.maybeCascade(ev.Target, depth)
 	case ServerRecover:
@@ -488,6 +498,7 @@ func (inj *Injector) apply(ev Event, depth int) {
 		delete(inj.srvDownBy, ev.Target)
 		inj.sch.ServerRecovered(inj.servers[ev.Target])
 		inj.ledger.ServerRecovers++
+		inj.cover.Hit(modelcov.FaultKind(int(ev.Kind)))
 	case LinkCut:
 		if inj.net == nil || ev.Target >= inj.net.NumLinks() || inj.net.LinkAdminDown(ev.Target) {
 			inj.ledger.Skipped++
@@ -498,6 +509,7 @@ func (inj *Injector) apply(ev Event, depth int) {
 			panic(err) // range-checked above
 		}
 		inj.ledger.LinkCuts++
+		inj.cover.Hit(modelcov.FaultKind(int(ev.Kind)))
 	case LinkRestore:
 		if inj.net == nil || ev.Target >= inj.net.NumLinks() || !inj.net.LinkAdminDown(ev.Target) ||
 			inj.linkDownBy[ev.Target] != ev.Pair {
@@ -509,6 +521,7 @@ func (inj *Injector) apply(ev Event, depth int) {
 			panic(err)
 		}
 		inj.ledger.LinkRestores++
+		inj.cover.Hit(modelcov.FaultKind(int(ev.Kind)))
 	case SwitchFail:
 		sw := inj.switchAt(ev.Target)
 		if sw == nil || sw.Failed() {
@@ -520,6 +533,7 @@ func (inj *Injector) apply(ev Event, depth int) {
 			panic(err)
 		}
 		inj.ledger.SwitchFails++
+		inj.cover.Hit(modelcov.FaultKind(int(ev.Kind)))
 	case SwitchRestore:
 		sw := inj.switchAt(ev.Target)
 		if sw == nil || !sw.Failed() || inj.swDownBy[ev.Target] != ev.Pair {
@@ -531,6 +545,7 @@ func (inj *Injector) apply(ev Event, depth int) {
 			panic(err)
 		}
 		inj.ledger.SwitchRestores++
+		inj.cover.Hit(modelcov.FaultKind(int(ev.Kind)))
 	case ScopeDown:
 		inj.applyScopeDown(ev, depth)
 	case ScopeUp:

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"holdcsim/internal/engine"
+	"holdcsim/internal/modelcov"
 	"holdcsim/internal/simtime"
 	"holdcsim/internal/topology"
 )
@@ -103,6 +104,7 @@ func (n *Network) startFlow(src, dst topology.NodeID, bytes, id int64, done func
 				// drop, so dependents make progress).
 				n.stats.FlowsCompleted++
 				n.stats.FlowsFailed++
+				n.cover.Hit(modelcov.NetFlowDeadStart)
 				if pktN > 0 {
 					n.stats.PacketsDropped += pktN
 					n.fluidDrops += pktN
@@ -312,6 +314,20 @@ func (n *Network) releaseFlow(f *Flow, failed bool) {
 		n.stats.PacketsDropped += drop
 		n.fluidDrops += drop
 		n.openPktTransfers--
+		if drop > 0 {
+			n.cover.Hit(modelcov.DropFluidKill)
+		}
+		if failed {
+			n.cover.Hit(modelcov.NetFluidFailed)
+		} else {
+			n.cover.Hit(modelcov.NetFluidComplete)
+		}
+	} else {
+		if failed {
+			n.cover.Hit(modelcov.NetFlowFailed)
+		} else {
+			n.cover.Hit(modelcov.NetFlowComplete)
+		}
 	}
 	n.recomputeFlowRates()
 	if f.done != nil {

@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"holdcsim/internal/engine"
+	"holdcsim/internal/modelcov"
 	"holdcsim/internal/power"
 	"holdcsim/internal/simtime"
 	"holdcsim/internal/topology"
@@ -101,8 +102,17 @@ type Network struct {
 	// Drops()==PacketsDropped reconciliation holds for both models.
 	fluidDrops int64
 
+	// cover, when non-nil, receives drop-site, terminal-path, and
+	// switch-power coverage features (modelcov; recording only).
+	cover *modelcov.Map
+
 	stats Stats
 }
+
+// SetCover attaches a model-state coverage map recording drop sites,
+// transfer terminal paths, and switch sleep/LPI events. Pass nil to
+// detach. Coverage recording never alters simulation behavior.
+func (n *Network) SetCover(m *modelcov.Map) { n.cover = m }
 
 // routeKey indexes the route cache.
 type routeKey struct{ src, dst topology.NodeID }

@@ -3,6 +3,7 @@ package network
 import (
 	"fmt"
 
+	"holdcsim/internal/modelcov"
 	"holdcsim/internal/simtime"
 	"holdcsim/internal/topology"
 )
@@ -203,6 +204,7 @@ func (n *Network) TransferPackets(src, dst topology.NodeID, bytes int64, done fu
 // last finishOne releases x back to the pool mid-loop.
 func (n *Network) startPktTransfer(x *pktTransfer) {
 	if x.loop {
+		n.cover.Hit(modelcov.NetPktLoopback)
 		n.stats.PacketsSent++
 		x.delivered = 1
 		n.stats.PacketsDelivered++
@@ -299,12 +301,14 @@ func (q *egressQueue) pop() *packet {
 func (q *egressQueue) enqueue(n *Network, p *packet) {
 	if q.link.isDown() {
 		q.drops++
+		n.cover.Hit(modelcov.DropEnqueueLinkDown)
 		p.xfer.finishOne(n, p, false)
 		return
 	}
 	if n.cfg.PortBufferBytes > 0 && q.busy() &&
 		q.queuedBytes+p.bytes > n.cfg.PortBufferBytes {
 		q.drops++
+		n.cover.Hit(modelcov.DropEnqueueOverflow)
 		p.xfer.finishOne(n, p, false)
 		return
 	}
@@ -357,6 +361,7 @@ func (q *egressQueue) serialized(n *Network) {
 		// with the link's in-flight traffic.
 		q.link.markIdle()
 		q.drops++
+		n.cover.Hit(modelcov.DropOnWireLinkDown)
 		p.xfer.finishOne(n, p, false)
 		q.maybeSend(n)
 		return
@@ -375,6 +380,7 @@ func (q *egressQueue) dropAll(n *Network) {
 		p := q.pop()
 		q.queuedBytes -= p.bytes
 		q.drops++
+		n.cover.Hit(modelcov.DropSweep)
 		p.xfer.finishOne(n, p, false)
 	}
 }
@@ -395,11 +401,13 @@ func (n *Network) packetArrived(p *packet) {
 		// egress queue it left from.
 		q := l.egress(l.a == p.nodes[p.hop])
 		q.drops++
+		n.cover.Hit(modelcov.DropArriveLinkDown)
 		p.xfer.finishOne(n, p, false)
 		return
 	}
 	p.hop++
 	if p.hop == len(p.links) { // destination host
+		n.cover.Hit(modelcov.NetPktDelivered)
 		p.xfer.finishOne(n, p, true)
 		return
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"holdcsim/internal/engine"
+	"holdcsim/internal/modelcov"
 	"holdcsim/internal/power"
 	"holdcsim/internal/simtime"
 	"holdcsim/internal/stats"
@@ -159,6 +160,7 @@ func (s *Switch) wake() simtime.Time {
 	s.sleeping = false
 	s.waking = true
 	s.wakeCount++
+	s.net.cover.Hit(modelcov.SwitchWake)
 	lat := s.prof.LineCardWake.Latency
 	s.wakeUntil = now + lat
 	s.recompute()
@@ -185,6 +187,7 @@ func (s *Switch) enterSleep() {
 		return
 	}
 	s.sleeping = true
+	s.net.cover.Hit(modelcov.SwitchSleep)
 	for _, lc := range s.lineCards {
 		lc.setLCState(power.LineCardSleep)
 	}
@@ -385,6 +388,7 @@ func (p *Port) addUser() simtime.Time {
 	var penalty simtime.Time
 	if p.state == power.PortLPI {
 		penalty = p.sw.prof.PortWake.Latency
+		p.sw.net.cover.Hit(modelcov.PortLPIWake)
 	}
 	if p.state != power.PortActive {
 		p.setPortState(power.PortActive)
@@ -412,5 +416,6 @@ func (p *Port) enterLPI() {
 	}
 	p.setPortState(power.PortLPI)
 	p.lpiEntries++
+	p.sw.net.cover.Hit(modelcov.PortLPIEnter)
 	p.sw.recompute()
 }

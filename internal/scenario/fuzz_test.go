@@ -8,14 +8,24 @@ import (
 // parameter mutations: whatever the fuzzer composes, a scenario that
 // passes Validate must build, run to completion without panicking, and
 // hold every conservation law. The mutation word perturbs the drawn
-// scenario inside its legal ranges so the fuzzer explores corners the
+// scenario inside its legal ranges (mutate in search.go — the encoding
+// is shared with GuidedSearch) so the fuzzer explores corners the
 // uniform generator visits rarely (rho near saturation, zero-job
-// horizons, minimum farms, huge burst ratios).
+// horizons, minimum farms, huge burst ratios, fault storms). Besides
+// the pinned seeds, the corpus minimized by cmd/covsearch seeds the
+// fuzzer with inputs known to reach rare model states.
 func FuzzScenario(f *testing.F) {
 	f.Add(uint64(0), uint64(0))
 	f.Add(uint64(1), uint64(0xdeadbeef))
 	f.Add(uint64(42), uint64(7))
 	f.Add(uint64(9999), uint64(1<<63))
+	corpus, err := ReadCorpusDir("testdata/corpus")
+	if err != nil {
+		f.Fatalf("reading covsearch corpus: %v", err)
+	}
+	for _, e := range corpus {
+		f.Add(e.Seed, e.Mut)
+	}
 	f.Fuzz(func(t *testing.T, seed, mut uint64) {
 		s := Random(seed)
 		mutate(&s, mut)
@@ -23,9 +33,7 @@ func FuzzScenario(f *testing.F) {
 		// mutation composed, cap generation so a single exec can never
 		// trip the fuzzer's hang detector (trace- or duration-only
 		// horizons on big farms otherwise derive 10^5+ jobs).
-		if s.MaxJobs == 0 || s.MaxJobs > 800 {
-			s.MaxJobs = 800
-		}
+		BoundWork(&s, 800)
 		if err := s.Validate(); err != nil {
 			// An invalid mutation is fine — rejecting it cleanly is the
 			// contract. Running it is not.
@@ -43,42 +51,4 @@ func FuzzScenario(f *testing.F) {
 				r.JobsCompleted, r.JobsGenerated)
 		}
 	})
-}
-
-// mutate perturbs a drawn scenario with fuzz-controlled values, bounded
-// so single executions stay fast (small farms, short horizons, bounded
-// edge bytes) while still reaching saturation and degenerate corners.
-func mutate(s *Scenario, mut uint64) {
-	take := func(n uint64) uint64 { // peel a field off the mutation word
-		v := mut % n
-		mut /= n
-		return v
-	}
-	switch take(4) {
-	case 1:
-		// Up to 1.55: overload scenarios (1.0–1.45) run, and the top of
-		// the range crosses Validate's 1.5 cap to exercise rejection.
-		s.Arrival.Rho = 0.05 + float64(take(16))*0.1
-	case 2:
-		s.Arrival.BurstRatio = 1 + float64(take(40))
-	}
-	switch take(4) {
-	case 1:
-		s.MaxJobs, s.DurationSec, s.DVFS = int64(take(120)), 0, false
-	case 2:
-		s.MaxJobs, s.DurationSec = 0, 0.05+float64(take(20))*0.1
-	}
-	switch take(4) {
-	case 1:
-		s.Servers = 1 + int(take(4))
-	case 2:
-		s.Factory.Width = 1 + int(take(4))
-		s.Factory.Layers = 1 + int(take(3))
-	}
-	if take(3) == 1 && s.Comm != 0 {
-		s.Factory.EdgeBytes = int64(take(32)) << 10
-	}
-	if take(3) == 1 {
-		s.DelayTimerSec = [...]float64{-1, 0, 0.01, 0.3}[take(4)]
-	}
 }

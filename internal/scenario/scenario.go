@@ -22,6 +22,7 @@ import (
 	"holdcsim/internal/dist"
 	"holdcsim/internal/fault"
 	"holdcsim/internal/invariant"
+	"holdcsim/internal/modelcov"
 	"holdcsim/internal/network"
 	"holdcsim/internal/power"
 	"holdcsim/internal/rng"
@@ -872,10 +873,17 @@ func (s Scenario) Config() (core.Config, error) {
 
 // Build constructs the data center (invariant checking always on).
 func (s Scenario) Build() (*core.DataCenter, error) {
+	return s.buildCover(nil)
+}
+
+// buildCover is Build with an optional model-state coverage map wired
+// through core.Config.Cover (nil collects nothing).
+func (s Scenario) buildCover(m *modelcov.Map) (*core.DataCenter, error) {
 	cfg, err := s.Config()
 	if err != nil {
 		return nil, err
 	}
+	cfg.Cover = m
 	dc, err := core.Build(cfg)
 	if err != nil {
 		return nil, fmt.Errorf("scenario %s: %w", s.Name(), err)
@@ -899,7 +907,16 @@ type Result struct {
 // construction failures and invariant violations; Result.Violations
 // carries the latter in structured form.
 func (s Scenario) Run() (Result, error) {
-	dc, err := s.Build()
+	return s.RunCover(nil)
+}
+
+// RunCover is Run with a model-state coverage map attached for the
+// duration of the run: the simulation records which semantic features
+// (state transitions, drop sites, fault paths, ...) it exercised into
+// m. A nil m is exactly Run. Coverage collection is observation-only:
+// the returned Result is byte-identical either way.
+func (s Scenario) RunCover(m *modelcov.Map) (Result, error) {
+	dc, err := s.buildCover(m)
 	if err != nil {
 		return Result{Scenario: s}, err
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"holdcsim/internal/job"
+	"holdcsim/internal/modelcov"
 	"holdcsim/internal/server"
 )
 
@@ -123,8 +124,10 @@ func (s *Scheduler) OnJobLost(fn func(*job.Job, LostReason)) {
 func (s *Scheduler) aliveEligible(t *job.Task) []*server.Server {
 	cands := s.Eligible(t)
 	if s.downCount == 0 {
+		s.cover.Hit(modelcov.PlaceFastPath)
 		return cands
 	}
+	s.cover.Hit(modelcov.PlaceFiltered)
 	s.aliveScratch = s.aliveScratch[:0]
 	for _, srv := range cands {
 		if !srv.Failed() {
@@ -140,12 +143,14 @@ func (s *Scheduler) aliveEligible(t *job.Task) []*server.Server {
 func (s *Scheduler) Select(t *job.Task) (*server.Server, error) {
 	cands := s.aliveEligible(t)
 	if len(cands) == 0 {
+		s.cover.Hit(modelcov.PlaceAllDown)
 		return nil, &AllDownError{Kind: t.Kind}
 	}
 	srv := s.cfg.Placer.Place(s, t, cands)
 	if srv == nil || srv.Failed() {
 		// A policy that ignores the filtered candidate list (or returns
 		// nil) falls back to the first alive candidate.
+		s.cover.Hit(modelcov.PlaceFallback)
 		srv = cands[0]
 	}
 	return srv, nil
@@ -161,6 +166,7 @@ func (s *Scheduler) handleUnplaceable(t *job.Task) {
 	}
 	t.State = job.TaskReady
 	s.parked = append(s.parked, t)
+	s.cover.Hit(modelcov.SchedOrphanPark)
 }
 
 // killJob retracts a job after a failure: every unfinished task is
@@ -173,6 +179,11 @@ func (s *Scheduler) killJob(j *job.Job, reason LostReason) {
 		return
 	}
 	j.MarkLost()
+	if reason == LostServerCrash {
+		s.cover.Hit(modelcov.SchedDropCrash)
+	} else {
+		s.cover.Hit(modelcov.SchedDropNoAlive)
+	}
 	// Two passes, queued/reserved tasks first: aborting a running task
 	// makes its core pull the next queued task, and without this order a
 	// doomed sibling queued behind it would transiently start (a wasted
@@ -282,6 +293,7 @@ func (s *Scheduler) ServersCrashed(srvs []*server.Server) (jobsLost, orphans int
 			t.State = job.TaskReady
 			t.ReadyAt = s.eng.Now()
 			t.ServerID = -1
+			s.cover.Hit(modelcov.SchedOrphanRequeue)
 			s.admitReady(t)
 		}
 	}
@@ -318,6 +330,7 @@ func (s *Scheduler) ServersRecovered(srvs []*server.Server) {
 		s.parked = nil
 		for _, t := range pending {
 			if !t.Job.Lost() {
+				s.cover.Hit(modelcov.SchedParkedDrain)
 				s.admitReady(t)
 			}
 		}

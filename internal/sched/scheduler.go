@@ -12,6 +12,7 @@ import (
 
 	"holdcsim/internal/engine"
 	"holdcsim/internal/job"
+	"holdcsim/internal/modelcov"
 	"holdcsim/internal/server"
 	"holdcsim/internal/simtime"
 	"holdcsim/internal/topology"
@@ -97,7 +98,16 @@ type Scheduler struct {
 	jobsCompleted  int64
 	jobsLost       int64
 	tasksAborted   int64
+
+	// cover, when non-nil, receives placement-path, queue-depth, and
+	// orphan-policy coverage features (modelcov; recording only).
+	cover *modelcov.Map
 }
+
+// SetCover attaches a model-state coverage map recording placement
+// paths, queue-depth buckets, and orphan-policy branches. Pass nil to
+// detach. Coverage recording never alters scheduling decisions.
+func (s *Scheduler) SetCover(m *modelcov.Map) { s.cover = m }
 
 // New wires a scheduler to the servers. Server completion callbacks are
 // claimed by the scheduler (OnTaskDone must not be overridden afterward).
@@ -255,14 +265,20 @@ func (s *Scheduler) admitReady(t *job.Task) {
 		if srv := s.availableServer(t); srv != nil {
 			t.ServerID = srv.ID()
 			s.committed[srv.ID()]++
+			s.cover.Hit(modelcov.PlaceGlobalQDirect)
 			s.submit(srv, t)
 		} else {
+			// Depth observed before the append: bucket 0 is "parked into
+			// an empty queue", the common backlog-forming case.
+			s.cover.Hit(modelcov.GlobalQueueDepth(len(s.globalQ)))
 			s.globalQ = append(s.globalQ, t)
+			s.cover.Hit(modelcov.PlaceGlobalQPark)
 		}
 		return
 	}
 	if t.ServerID >= 0 && s.downCount > 0 && s.servers[t.ServerID].Failed() {
 		// Statically placed on a server that crashed before dispatch.
+		s.cover.Hit(modelcov.SchedStaticReplace)
 		if s.committed[t.ServerID] > 0 {
 			s.committed[t.ServerID]--
 		}
@@ -309,6 +325,7 @@ func (s *Scheduler) availableServer(t *job.Task) *server.Server {
 // submit hands the task to the server's local scheduler.
 func (s *Scheduler) submit(srv *server.Server, t *job.Task) {
 	s.jobsDispatched++
+	s.cover.Hit(modelcov.QueueDepth(srv.PendingTasks()))
 	for _, fn := range s.onDispatch {
 		fn(srv, t)
 	}
@@ -355,6 +372,7 @@ func (s *Scheduler) taskDone(srv *server.Server, t *job.Task) {
 				// at admission. The transfer cannot be routed yet; model
 				// it by delivering the dependency now (the network
 				// latency and energy of this edge are not charged).
+				s.cover.Hit(modelcov.SchedDeferredPlace)
 				s.eng.After(0, deliver)
 			} else {
 				s.cfg.Transfer(t.ServerID, dst, edge.Bytes, deliver)
@@ -376,6 +394,7 @@ func (s *Scheduler) drainGlobalQueue() {
 	for _, t := range s.globalQ {
 		if srv := s.availableServer(t); srv != nil {
 			t.ServerID = srv.ID()
+			s.cover.Hit(modelcov.PlaceGlobalQDrain)
 			// Symmetric with admitReady's global-queue path: every
 			// dispatched task holds one commitment, so taskDone's
 			// decrement — and the crash path's per-orphan decommit —

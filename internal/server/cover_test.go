@@ -1,0 +1,31 @@
+package server
+
+import (
+	"testing"
+
+	"holdcsim/internal/modelcov"
+)
+
+// modelcov cannot import this package (we import it), so its residency
+// state table is a duplicate of the State* labels above. Pin the two
+// tables together: a new or renamed residency label must be mirrored in
+// modelcov or its transitions silently vanish from the coverage map.
+func TestModelcovKnowsEveryResidencyLabel(t *testing.T) {
+	labels := []string{StateActive, StateWakeUp, StateIdle, StatePkgC6,
+		StateSysSleep, StateOff, StateDown}
+	if len(labels) != modelcov.NumSrvStates {
+		t.Fatalf("server has %d residency labels, modelcov expects %d",
+			len(labels), modelcov.NumSrvStates)
+	}
+	seen := make(map[int]string, len(labels))
+	for _, l := range labels {
+		i := modelcov.SrvStateIndex(l)
+		if i < 0 {
+			t.Fatalf("modelcov does not know residency label %q", l)
+		}
+		if prev, dup := seen[i]; dup {
+			t.Fatalf("labels %q and %q map to the same index %d", prev, l, i)
+		}
+		seen[i] = l
+	}
+}

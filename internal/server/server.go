@@ -5,6 +5,7 @@ import (
 
 	"holdcsim/internal/engine"
 	"holdcsim/internal/job"
+	"holdcsim/internal/modelcov"
 	"holdcsim/internal/power"
 	"holdcsim/internal/simtime"
 	"holdcsim/internal/stats"
@@ -59,6 +60,12 @@ type Server struct {
 	dramMeter *stats.EnergyMeter
 	platMeter *stats.EnergyMeter
 	residency *stats.Residency
+
+	// cover, when non-nil, receives residency-transition features;
+	// lastLabel is the previously recorded residency label so only
+	// actual state changes are counted.
+	cover     *modelcov.Map
+	lastLabel string
 
 	completedTasks int64
 	wakeCount      int64 // system-level wakes, for diagnostics
@@ -712,6 +719,11 @@ func (s *Server) recompute() {
 	s.cpuMeter.SetPower(now, cpu)
 	s.dramMeter.SetPower(now, dram)
 	s.platMeter.SetPower(now, plat)
+	if s.cover != nil && label != s.lastLabel {
+		s.cover.Hit(modelcov.SrvTransition(
+			modelcov.SrvStateIndex(s.lastLabel), modelcov.SrvStateIndex(label)))
+	}
+	s.lastLabel = label
 	s.residency.SetState(now, label)
 	if s.onBusyChange != nil {
 		s.onBusyChange(now, s.busyCores)
@@ -742,3 +754,8 @@ func (s *Server) EnergyTo(t simtime.Time) float64 {
 
 // Residency exposes the state-residency tracker (Fig. 8).
 func (s *Server) Residency() *stats.Residency { return s.residency }
+
+// SetCover attaches a model-state coverage map: every residency label
+// change from here on records a transition feature. Pass nil to
+// detach. Coverage recording never alters simulation behavior.
+func (s *Server) SetCover(m *modelcov.Map) { s.cover = m }
