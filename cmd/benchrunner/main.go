@@ -8,12 +8,15 @@
 // Usage:
 //
 //	go run ./cmd/benchrunner [-out BENCH_engine.json] [-label "PR 1"]
+//	go run ./cmd/benchrunner -hyperscale        # adds the 1M-server row
+//	go run ./cmd/benchrunner -quick             # scalability rows only
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"testing"
@@ -35,9 +38,12 @@ type Result struct {
 	AllocsPerOp int64   `json:"allocs_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
 	// EventsPerSec is the engine dispatch rate where the benchmark
-	// measures one (the Table I row); 0 otherwise.
+	// measures one (the Table I rows); 0 otherwise.
 	EventsPerSec float64 `json:"events_per_sec,omitempty"`
-	Iterations   int     `json:"iterations"`
+	// PeakRSSBytes is the process's high-water resident set, recorded
+	// by the hyperscale row (memory is its second axis).
+	PeakRSSBytes int64 `json:"peak_rss_bytes,omitempty"`
+	Iterations   int   `json:"iterations"`
 }
 
 // Entry is one benchrunner invocation in the trajectory file.
@@ -49,10 +55,20 @@ type Entry struct {
 	Results   []Result  `json:"results"`
 }
 
-func main() {
-	out := flag.String("out", "BENCH_engine.json", "trajectory file to append to")
-	label := flag.String("label", "", "free-form label for this entry (e.g. PR number)")
-	flag.Parse()
+func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
+
+// run executes one CLI invocation; factored from main so tests drive
+// the binary in-process.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchrunner", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	out := fs.String("out", "BENCH_engine.json", "trajectory file to append to")
+	label := fs.String("label", "", "free-form label for this entry (e.g. PR number)")
+	quick := fs.Bool("quick", false, "scalability rows only, single-shot (CI smoke)")
+	hyper := fs.Bool("hyperscale", false, "also run the 1M-server hyperscale row (quick shrinks it)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	entry := Entry{
 		Timestamp: time.Now().UTC(),
@@ -61,57 +77,73 @@ func main() {
 		GOARCH:    runtime.GOARCH,
 	}
 
-	benches := []struct {
-		name string
-		fn   func(b *testing.B)
-	}{
-		{"engine/schedule-and-run", benchScheduleAndRun},
-		{"engine/churn", benchChurn},
-		{"engine/timer-reset", benchTimerReset},
-		{"network/packet-forwarding", benchPacketForwarding},
-		{"network/fluid-step", benchFluidStep},
-	}
-	for _, bench := range benches {
-		r := testing.Benchmark(bench.fn)
-		res := Result{
-			Name:        bench.name,
-			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
-			AllocsPerOp: r.AllocsPerOp(),
-			BytesPerOp:  r.AllocedBytesPerOp(),
-			Iterations:  r.N,
+	if !*quick {
+		benches := []struct {
+			name string
+			fn   func(b *testing.B)
+		}{
+			{"engine/schedule-and-run", benchScheduleAndRun},
+			{"engine/churn", benchChurn},
+			{"engine/timer-reset", benchTimerReset},
+			{"network/packet-forwarding", benchPacketForwarding},
+			{"network/fluid-step", benchFluidStep},
 		}
-		entry.Results = append(entry.Results, res)
-		fmt.Printf("%-28s %12.2f ns/op %8d B/op %6d allocs/op\n",
-			bench.name, res.NsPerOp, res.BytesPerOp, res.AllocsPerOp)
+		for _, bench := range benches {
+			r := testing.Benchmark(bench.fn)
+			res := Result{
+				Name:        bench.name,
+				NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+				AllocsPerOp: r.AllocsPerOp(),
+				BytesPerOp:  r.AllocedBytesPerOp(),
+				Iterations:  r.N,
+			}
+			entry.Results = append(entry.Results, res)
+			fmt.Fprintf(stdout, "%-28s %12.2f ns/op %8d B/op %6d allocs/op\n",
+				bench.name, res.NsPerOp, res.BytesPerOp, res.AllocsPerOp)
+		}
 	}
 
-	tableI, err := runTableI()
+	tableI, err := runTableI(*quick)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "benchrunner: table I: %v\n", err)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "benchrunner: table I: %v\n", err)
+		return 1
 	}
 	entry.Results = append(entry.Results, tableI)
-	fmt.Printf("%-28s %12.2f ns/op %17.0f events/s\n", tableI.Name, tableI.NsPerOp, tableI.EventsPerSec)
+	fmt.Fprintf(stdout, "%-28s %12.2f ns/op %17.0f events/s\n", tableI.Name, tableI.NsPerOp, tableI.EventsPerSec)
 
-	campaign, err := runFig5Campaign()
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "benchrunner: fig5 campaign: %v\n", err)
-		os.Exit(1)
+	if *hyper {
+		hs, err := runHyperscale(*quick)
+		if err != nil {
+			fmt.Fprintf(stderr, "benchrunner: hyperscale: %v\n", err)
+			return 1
+		}
+		entry.Results = append(entry.Results, hs)
+		fmt.Fprintf(stdout, "%-28s %12.2f ns/op %17.0f events/s %8.1f MiB peak\n",
+			hs.Name, hs.NsPerOp, hs.EventsPerSec, float64(hs.PeakRSSBytes)/(1<<20))
 	}
-	entry.Results = append(entry.Results, campaign...)
-	for _, r := range campaign {
-		fmt.Printf("%-28s %12.2f ns/op\n", r.Name, r.NsPerOp)
-	}
-	if len(campaign) == 2 && campaign[1].NsPerOp > 0 {
-		fmt.Printf("%-28s %12.2fx at GOMAXPROCS=%d\n", "fig5-campaign speedup",
-			campaign[0].NsPerOp/campaign[1].NsPerOp, runtime.GOMAXPROCS(0))
+
+	if !*quick {
+		campaign, err := runFig5Campaign()
+		if err != nil {
+			fmt.Fprintf(stderr, "benchrunner: fig5 campaign: %v\n", err)
+			return 1
+		}
+		entry.Results = append(entry.Results, campaign...)
+		for _, r := range campaign {
+			fmt.Fprintf(stdout, "%-28s %12.2f ns/op\n", r.Name, r.NsPerOp)
+		}
+		if len(campaign) == 2 && campaign[1].NsPerOp > 0 {
+			fmt.Fprintf(stdout, "%-28s %12.2fx at GOMAXPROCS=%d\n", "fig5-campaign speedup",
+				campaign[0].NsPerOp/campaign[1].NsPerOp, runtime.GOMAXPROCS(0))
+		}
 	}
 
 	if err := appendEntry(*out, entry); err != nil {
-		fmt.Fprintf(os.Stderr, "benchrunner: %v\n", err)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "benchrunner: %v\n", err)
+		return 1
 	}
-	fmt.Printf("appended entry to %s\n", *out)
+	fmt.Fprintf(stdout, "appended entry to %s\n", *out)
+	return 0
 }
 
 // benchScheduleAndRun is the self-rescheduling chain: the dominant
@@ -253,9 +285,23 @@ func runFig5Campaign() ([]Result, error) {
 }
 
 // runTableI reproduces the Table I scalability row and reports the
-// engine's end-to-end dispatch rate.
-func runTableI() (Result, error) {
+// engine's end-to-end dispatch rate. Quick mode runs a single
+// invocation instead of a timed benchmark loop.
+func runTableI(quick bool) (Result, error) {
 	p := experiments.QuickTableI()
+	if quick {
+		start := time.Now()
+		res, err := experiments.TableI(p)
+		if err != nil {
+			return Result{}, err
+		}
+		return Result{
+			Name:         "experiments/table1-scalability",
+			NsPerOp:      float64(time.Since(start).Nanoseconds()),
+			Iterations:   1,
+			EventsPerSec: res.EventsPerSec,
+		}, nil
+	}
 	var res *experiments.TableIResult
 	var err error
 	r := testing.Benchmark(func(b *testing.B) {
@@ -274,6 +320,27 @@ func runTableI() (Result, error) {
 		NsPerOp:      float64(r.T.Nanoseconds()) / float64(r.N),
 		Iterations:   r.N,
 		EventsPerSec: res.EventsPerSec,
+	}, nil
+}
+
+// runHyperscale runs the million-server scalability row once (it is
+// its own benchmark: build seconds, run-phase events/s, peak RSS).
+// Quick mode shrinks the farm so tests and smoke jobs stay fast.
+func runHyperscale(quick bool) (Result, error) {
+	p := experiments.DefaultHyperscale()
+	if quick {
+		p = experiments.QuickHyperscale()
+	}
+	res, err := experiments.Hyperscale(p)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{
+		Name:         "experiments/table1-hyperscale",
+		NsPerOp:      res.RunSeconds * 1e9,
+		Iterations:   1,
+		EventsPerSec: res.EventsPerSec,
+		PeakRSSBytes: res.PeakRSSBytes,
 	}, nil
 }
 

@@ -1,0 +1,130 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// Quick mode exercises the full CLI path — flags, the Table I and
+// hyperscale scalability rows, and the trajectory append — without the
+// timed benchmark loops.
+func TestRunQuickAppendsTrajectory(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "bench.json")
+	var stdout, stderr strings.Builder
+	code := run([]string{"-quick", "-hyperscale", "-out", out, "-label", "test"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var entries []Entry
+	if err := json.Unmarshal(data, &entries); err != nil {
+		t.Fatalf("trajectory not valid JSON: %v\n%s", err, data)
+	}
+	if len(entries) != 1 || entries[0].Label != "test" {
+		t.Fatalf("entries = %+v, want one labeled \"test\"", entries)
+	}
+	names := map[string]Result{}
+	for _, r := range entries[0].Results {
+		names[r.Name] = r
+	}
+	scale, ok := names["experiments/table1-scalability"]
+	if !ok || scale.EventsPerSec <= 0 {
+		t.Fatalf("table1-scalability row missing or empty: %+v", names)
+	}
+	hyper, ok := names["experiments/table1-hyperscale"]
+	if !ok || hyper.EventsPerSec <= 0 || hyper.PeakRSSBytes <= 0 {
+		t.Fatalf("table1-hyperscale row missing events/s or peak RSS: %+v", hyper)
+	}
+	if !strings.Contains(stdout.String(), "appended entry to") {
+		t.Fatalf("missing append confirmation:\n%s", stdout.String())
+	}
+
+	// A second invocation must append, not overwrite.
+	code = run([]string{"-quick", "-out", out}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("second run exit %d, stderr: %s", code, stderr.String())
+	}
+	data, err = os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries = nil
+	if err := json.Unmarshal(data, &entries); err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("trajectory holds %d entries after two runs, want 2", len(entries))
+	}
+}
+
+// The non-quick path end to end: the five timed micro-benchmarks, the
+// benchmarked Table I row, and the Fig. 5 campaign, into a scratch
+// trajectory. testing.Benchmark calibration makes this the slowest
+// test in the package (~10 s wall); it is not gated on -short because
+// the coverage ratchet measures with -short and these loops are the
+// statements behind every committed trajectory figure.
+func TestRunFullSuiteOnce(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "bench.json")
+	var stdout, stderr strings.Builder
+	code := run([]string{"-out", out, "-label", "full"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var entries []Entry
+	if err := json.Unmarshal(data, &entries); err != nil {
+		t.Fatalf("trajectory not valid JSON: %v\n%s", err, data)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("trajectory holds %d entries, want 1", len(entries))
+	}
+	got := map[string]Result{}
+	for _, r := range entries[0].Results {
+		got[r.Name] = r
+	}
+	for _, name := range []string{
+		"engine/schedule-and-run", "engine/churn", "engine/timer-reset",
+		"network/packet-forwarding", "network/fluid-step",
+		"experiments/fig5-campaign-serial", "experiments/fig5-campaign-parallel",
+	} {
+		if r, ok := got[name]; !ok || r.NsPerOp <= 0 {
+			t.Errorf("row %q missing or empty: %+v", name, r)
+		}
+	}
+	if r := got["experiments/table1-scalability"]; r.EventsPerSec <= 0 || r.Iterations < 1 {
+		t.Errorf("benchmarked table1-scalability row missing or empty: %+v", r)
+	}
+	if _, ok := got["experiments/table1-hyperscale"]; ok {
+		t.Error("hyperscale row present without -hyperscale")
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	var stdout, stderr strings.Builder
+	if code := run([]string{"-definitely-not-a-flag"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("exit %d for unknown flag, want 2", code)
+	}
+}
+
+func TestRunRefusesCorruptTrajectory(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "bench.json")
+	if err := os.WriteFile(out, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr strings.Builder
+	if code := run([]string{"-quick", "-out", out}, &stdout, &stderr); code != 1 {
+		t.Fatalf("exit %d over corrupt trajectory, want 1 (stderr: %s)", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "not a trajectory array") {
+		t.Fatalf("stderr missing diagnosis: %s", stderr.String())
+	}
+}

@@ -14,23 +14,32 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"holdcsim/internal/topology"
 )
 
-func main() {
-	topo := flag.String("topo", "fattree", "fattree|star|bcube|camcube|flatbutterfly")
-	k := flag.Int("k", 4, "fat-tree arity / BCube level count")
-	n := flag.Int("n", 4, "BCube switch port count")
-	hosts := flag.Int("hosts", 24, "star host count")
-	x := flag.Int("x", 3, "CamCube X")
-	y := flag.Int("y", 3, "CamCube Y")
-	z := flag.Int("z", 3, "CamCube Z")
-	rows := flag.Int("rows", 2, "flattened butterfly rows")
-	cols := flag.Int("cols", 4, "flattened butterfly cols")
-	conc := flag.Int("c", 2, "flattened butterfly hosts per router")
-	flag.Parse()
+func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
+
+// run executes one CLI invocation; factored from main so tests drive
+// the binary in-process.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("topoviz", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	topo := fs.String("topo", "fattree", "fattree|star|bcube|camcube|flatbutterfly")
+	k := fs.Int("k", 4, "fat-tree arity / BCube level count")
+	n := fs.Int("n", 4, "BCube switch port count")
+	hosts := fs.Int("hosts", 24, "star host count")
+	x := fs.Int("x", 3, "CamCube X")
+	y := fs.Int("y", 3, "CamCube Y")
+	z := fs.Int("z", 3, "CamCube Z")
+	rows := fs.Int("rows", 2, "flattened butterfly rows")
+	cols := fs.Int("cols", 4, "flattened butterfly cols")
+	conc := fs.Int("c", 2, "flattened butterfly hosts per router")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	var t topology.Topology
 	switch *topo {
@@ -45,62 +54,63 @@ func main() {
 	case "flatbutterfly":
 		t = topology.FlattenedButterfly{Rows: *rows, Cols: *cols, Concentration: *conc}
 	default:
-		fmt.Fprintf(os.Stderr, "topoviz: unknown topology %q\n", *topo)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "topoviz: unknown topology %q\n", *topo)
+		return 2
 	}
 	g, err := t.Build()
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "topoviz:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "topoviz:", err)
+		return 1
 	}
 	if err := g.Validate(); err != nil {
-		fmt.Fprintln(os.Stderr, "topoviz: validation:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "topoviz: validation:", err)
+		return 1
 	}
 
 	hostsList := g.Hosts()
 	switches := g.Switches()
-	fmt.Printf("topology %s\n", t.Name())
-	fmt.Printf("  nodes:    %d (%d hosts, %d switches)\n", g.NumNodes(), len(hostsList), len(switches))
-	fmt.Printf("  links:    %d\n", g.NumLinks())
-	fmt.Printf("  host transit: %v\n", g.AllowHostTransit)
+	fmt.Fprintf(stdout, "topology %s\n", t.Name())
+	fmt.Fprintf(stdout, "  nodes:    %d (%d hosts, %d switches)\n", g.NumNodes(), len(hostsList), len(switches))
+	fmt.Fprintf(stdout, "  links:    %d\n", g.NumLinks())
+	fmt.Fprintf(stdout, "  host transit: %v\n", g.AllowHostTransit)
 
 	// Degree profile.
 	degCount := map[int]int{}
 	for i := 0; i < g.NumNodes(); i++ {
 		degCount[g.Degree(topology.NodeID(i))]++
 	}
-	fmt.Printf("  degrees:  ")
+	fmt.Fprintf(stdout, "  degrees:  ")
 	for d := 0; d <= maxKey(degCount); d++ {
 		if c := degCount[d]; c > 0 {
-			fmt.Printf("%dx deg%d  ", c, d)
+			fmt.Fprintf(stdout, "%dx deg%d  ", c, d)
 		}
 	}
-	fmt.Println()
+	fmt.Fprintln(stdout)
 
 	// Hop-count profile from host 0 to all other hosts.
 	hops := map[int]int{}
 	for _, h := range hostsList[1:] {
 		hops[g.HopCount(hostsList[0], h)]++
 	}
-	fmt.Printf("  hops from host 0: ")
+	fmt.Fprintf(stdout, "  hops from host 0: ")
 	for d := 0; d <= maxKey(hops); d++ {
 		if c := hops[d]; c > 0 {
-			fmt.Printf("%d hosts @ %d hops  ", c, d)
+			fmt.Fprintf(stdout, "%d hosts @ %d hops  ", c, d)
 		}
 	}
-	fmt.Println()
+	fmt.Fprintln(stdout)
 
 	// Example path between the two most distant hosts.
 	far := hostsList[len(hostsList)-1]
 	nodes, _, err := g.Path(hostsList[0], far, 0)
 	if err == nil {
-		fmt.Printf("  sample path %d -> %d:", hostsList[0], far)
+		fmt.Fprintf(stdout, "  sample path %d -> %d:", hostsList[0], far)
 		for _, nd := range nodes {
-			fmt.Printf(" %s", g.Node(nd).Name)
+			fmt.Fprintf(stdout, " %s", g.Node(nd).Name)
 		}
-		fmt.Println()
+		fmt.Fprintln(stdout)
 	}
+	return 0
 }
 
 func maxKey(m map[int]int) int {

@@ -1,0 +1,62 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunEveryTopology(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string // substring of the topology banner
+	}{
+		{"fattree", []string{"-topo", "fattree", "-k", "4"}, "fattree-k4"},
+		{"star", []string{"-topo", "star", "-hosts", "8"}, "star-8"},
+		{"bcube", []string{"-topo", "bcube", "-n", "2", "-k", "1"}, "bcube"},
+		{"camcube", []string{"-topo", "camcube", "-x", "2", "-y", "2", "-z", "2"}, "camcube"},
+		{"flatbutterfly", []string{"-topo", "flatbutterfly", "-rows", "2", "-cols", "2", "-c", "2"}, "flatbutterfly"},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr strings.Builder
+			if code := run(tc.args, &stdout, &stderr); code != 0 {
+				t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+			}
+			got := stdout.String()
+			if !strings.Contains(got, "topology "+tc.want) {
+				t.Errorf("banner missing %q:\n%s", tc.want, got)
+			}
+			for _, section := range []string{"nodes:", "links:", "degrees:", "hops from host 0:"} {
+				if !strings.Contains(got, section) {
+					t.Errorf("section %q missing:\n%s", section, got)
+				}
+			}
+		})
+	}
+}
+
+func TestRunRejectsUnknownTopology(t *testing.T) {
+	var stdout, stderr strings.Builder
+	if code := run([]string{"-topo", "moebius"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("exit %d for unknown topology, want 2", code)
+	}
+	if !strings.Contains(stderr.String(), "unknown topology") {
+		t.Fatalf("stderr missing diagnosis: %s", stderr.String())
+	}
+}
+
+func TestRunRejectsInvalidBuild(t *testing.T) {
+	var stdout, stderr strings.Builder
+	if code := run([]string{"-topo", "fattree", "-k", "3"}, &stdout, &stderr); code != 1 {
+		t.Fatalf("exit %d for odd fat-tree arity, want 1 (stderr: %s)", code, stderr.String())
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	var stdout, stderr strings.Builder
+	if code := run([]string{"-no-such-flag"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("exit %d for unknown flag, want 2", code)
+	}
+}

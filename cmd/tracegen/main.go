@@ -13,19 +13,28 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"holdcsim/internal/rng"
 	"holdcsim/internal/trace"
 )
 
-func main() {
-	kind := flag.String("kind", "wikipedia", "wikipedia|nlanr")
-	duration := flag.Float64("duration", 3600, "trace length in seconds")
-	rate := flag.Float64("rate", 100, "mean arrivals/second (wikipedia)")
-	onRate := flag.Float64("onrate", 40, "burst arrival rate (nlanr)")
-	seed := flag.Uint64("seed", 1, "random seed")
-	flag.Parse()
+func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
+
+// run executes one CLI invocation; factored from main so tests drive
+// the binary in-process.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("tracegen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	kind := fs.String("kind", "wikipedia", "wikipedia|nlanr")
+	duration := fs.Float64("duration", 3600, "trace length in seconds")
+	rate := fs.Float64("rate", 100, "mean arrivals/second (wikipedia)")
+	onRate := fs.Float64("onrate", 40, "burst arrival rate (nlanr)")
+	seed := fs.Uint64("seed", 1, "random seed")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	r := rng.New(*seed)
 	var tr *trace.Trace
@@ -37,13 +46,14 @@ func main() {
 		cfg.OnRate = *onRate
 		tr = trace.SyntheticNLANR(cfg, r)
 	default:
-		fmt.Fprintf(os.Stderr, "tracegen: unknown kind %q\n", *kind)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "tracegen: unknown kind %q\n", *kind)
+		return 2
 	}
-	fmt.Fprintf(os.Stderr, "tracegen: %d arrivals over %.0f s (mean %.2f/s)\n",
+	fmt.Fprintf(stderr, "tracegen: %d arrivals over %.0f s (mean %.2f/s)\n",
 		tr.Len(), tr.Duration(), tr.MeanRate())
-	if err := tr.Write(os.Stdout); err != nil {
-		fmt.Fprintln(os.Stderr, "tracegen:", err)
-		os.Exit(1)
+	if err := tr.Write(stdout); err != nil {
+		fmt.Fprintln(stderr, "tracegen:", err)
+		return 1
 	}
+	return 0
 }

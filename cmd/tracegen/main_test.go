@@ -1,0 +1,67 @@
+package main
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestRunEmitsParsableTrace(t *testing.T) {
+	for _, kind := range []string{"wikipedia", "nlanr"} {
+		kind := kind
+		t.Run(kind, func(t *testing.T) {
+			var stdout, stderr strings.Builder
+			code := run([]string{"-kind", kind, "-duration", "20", "-rate", "10", "-seed", "3"},
+				&stdout, &stderr)
+			if code != 0 {
+				t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+			}
+			if !strings.Contains(stderr.String(), "arrivals over") {
+				t.Fatalf("summary missing on stderr: %s", stderr.String())
+			}
+			lines := strings.Fields(stdout.String())
+			if len(lines) == 0 {
+				t.Fatal("empty trace")
+			}
+			prev := -1.0
+			for i, ln := range lines {
+				ts, err := strconv.ParseFloat(ln, 64)
+				if err != nil {
+					t.Fatalf("line %d %q is not a timestamp: %v", i, ln, err)
+				}
+				if ts < prev {
+					t.Fatalf("timestamps not monotonic at line %d: %g after %g", i, ts, prev)
+				}
+				prev = ts
+			}
+		})
+	}
+}
+
+func TestRunSeedDeterminism(t *testing.T) {
+	gen := func() string {
+		var stdout, stderr strings.Builder
+		if code := run([]string{"-kind", "wikipedia", "-duration", "10", "-seed", "11"},
+			&stdout, &stderr); code != 0 {
+			t.Fatalf("exit %d: %s", code, stderr.String())
+		}
+		return stdout.String()
+	}
+	if gen() != gen() {
+		t.Fatal("same seed produced different traces")
+	}
+}
+
+func TestRunRejectsUnknownKind(t *testing.T) {
+	var stdout, stderr strings.Builder
+	if code := run([]string{"-kind", "pareto"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("exit %d for unknown kind, want 2", code)
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	var stdout, stderr strings.Builder
+	if code := run([]string{"-bogus"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("exit %d for unknown flag, want 2", code)
+	}
+}

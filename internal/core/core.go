@@ -148,11 +148,25 @@ type Config struct {
 	// instrumented run produces byte-identical results — and costs
 	// nothing when nil (each hook is a single nil check).
 	Cover *modelcov.Map
+
+	// CompactStatsAbove switches result collection to hyperscale mode
+	// when the farm exceeds this many servers (default 65536; negative
+	// disables): the job-latency tally degrades to a bounded reservoir
+	// (exact moments, approximate percentiles) instead of retaining
+	// every sample, and Results.PerServer is omitted. Farms at or below
+	// the threshold — including every paper-scale preset — collect
+	// exactly as before.
+	CompactStatsAbove int
 }
+
+// DefaultCompactStatsAbove is the farm size beyond which Build degrades
+// to bounded statistics, and the reservoir capacity it degrades to.
+const DefaultCompactStatsAbove = 65536
 
 // DataCenter is a built simulation ready to run.
 type DataCenter struct {
 	Eng     *engine.Engine
+	Farm    *server.Farm // owns the servers; shared sleep planner
 	Servers []*server.Server
 	Net     *network.Network // nil without a topology
 	Graph   *topology.Graph  // nil without a topology
@@ -164,6 +178,7 @@ type DataCenter struct {
 	hostOf   []topology.NodeID
 	checker  *invariant.Checker // nil unless cfg.Check
 	injector *fault.Injector    // nil unless cfg.Faults
+	compact  bool               // hyperscale collection mode
 
 	latency  *stats.Tally
 	srvPower *stats.PowerSampler
@@ -187,14 +202,32 @@ func Build(cfg Config) (*DataCenter, error) {
 	eng := engine.New()
 	master := rng.New(cfg.Seed)
 
+	compactAbove := cfg.CompactStatsAbove
+	if compactAbove == 0 {
+		compactAbove = DefaultCompactStatsAbove
+	}
+	compact := compactAbove > 0 && cfg.Servers > compactAbove
+
 	dc := &DataCenter{
 		Eng:     eng,
 		cfg:     cfg,
 		rng:     master,
-		latency: stats.NewTally("job-latency-seconds"),
+		compact: compact,
+	}
+	if compact {
+		// Hyperscale: retaining one float64 per job would dominate
+		// memory, so keep exact moments plus a bounded reservoir for
+		// percentiles.
+		dc.latency = stats.NewReservoirTally("job-latency-seconds",
+			DefaultCompactStatsAbove, cfg.Seed)
+	} else {
+		dc.latency = stats.NewTally("job-latency-seconds")
 	}
 
-	// Server farm.
+	// Server farm. The farm's shared sleep planner replaces one pending
+	// timer event per idle server with a single heap entry, so a fully
+	// asleep farm holds zero queued events regardless of size.
+	dc.Farm = server.NewFarm(eng)
 	dc.Servers = make([]*server.Server, cfg.Servers)
 	for i := 0; i < cfg.Servers; i++ {
 		sc := cfg.ServerConfig
@@ -204,7 +237,7 @@ func Build(cfg Config) (*DataCenter, error) {
 		if cfg.ConfigureServer != nil {
 			cfg.ConfigureServer(i, &sc)
 		}
-		srv, err := server.New(i, eng, sc)
+		srv, err := dc.Farm.Add(i, sc)
 		if err != nil {
 			return nil, fmt.Errorf("core: server %d: %w", i, err)
 		}
@@ -333,9 +366,11 @@ func Build(cfg Config) (*DataCenter, error) {
 			fault.AttachOpts{Topo: topo, Cascade: cascade, Spec: spec, Cover: cfg.Cover})
 	}
 
-	// Invariant checking.
+	// Invariant checking. The farm's incremental aggregates keep the
+	// checker's Finalize sums O(1), and the default ScanBudget bounds
+	// every deep scan, so checking stays affordable at any farm size.
 	if cfg.Check {
-		opts := invariant.Options{Stationary: cfg.CheckStationary}
+		opts := invariant.Options{Stationary: cfg.CheckStationary, Farm: dc.Farm}
 		if dc.injector != nil {
 			opts.LostJobsLedger = dc.injector.JobsLost
 			opts.ScopeCheck = dc.injector.CheckScopes
@@ -433,8 +468,13 @@ func (dc *DataCenter) Collect() *Results {
 		JobsLost:      dc.Sched.JobsLost(),
 		TasksAborted:  dc.Sched.TasksAborted(),
 		Latency:       dc.latency,
-		PerServer:     make([]ServerEnergy, len(dc.Servers)),
 		Residency:     make(map[string]float64),
+	}
+	if !dc.compact {
+		// Hyperscale mode drops the per-server breakdown: a million
+		// ServerEnergy entries serve no report and dominate the results'
+		// footprint. Aggregates below are collected either way.
+		r.PerServer = make([]ServerEnergy, len(dc.Servers))
 	}
 	if dc.injector != nil {
 		ledger := dc.injector.Ledger()
@@ -443,14 +483,16 @@ func (dc *DataCenter) Collect() *Results {
 	resTotals := make(map[string]float64)
 	for i, s := range dc.Servers {
 		cpu, dram, plat := s.CPUEnergyTo(end), s.DRAMEnergyTo(end), s.PlatformEnergyTo(end)
-		r.PerServer[i] = ServerEnergy{CPU: cpu, DRAM: dram, Platform: plat}
+		if r.PerServer != nil {
+			r.PerServer[i] = ServerEnergy{CPU: cpu, DRAM: dram, Platform: plat}
+		}
 		r.ServerEnergyJ += cpu + dram + plat
 		r.CPUEnergyJ += cpu
 		r.DRAMEnergyJ += dram
 		r.PlatformEnergyJ += plat
-		for state, frac := range s.Residency().FractionsTo(end) {
-			resTotals[state] += frac
-		}
+		// AddFractionsTo performs the identical divisions FractionsTo
+		// would, accumulating into resTotals without a per-server map.
+		s.Residency().AddFractionsTo(end, resTotals)
 		r.ServerWakeups += s.WakeCount()
 	}
 	for state, total := range resTotals {

@@ -31,9 +31,10 @@ import (
 // Violation is one broken law.
 type Violation struct {
 	// Law names the violated law ("monotonic-time", "task-conservation",
-	// "energy-closure", "non-negative-queues", "packet-conservation",
-	// "little-exact", "little-ci", "reported-totals", "placement",
-	// "lost-ledger", "scope-consistency").
+	// "energy-closure", "non-negative-queues", "queue-counter",
+	// "packet-conservation", "little-exact", "little-ci",
+	// "reported-totals", "placement", "lost-ledger",
+	// "scope-consistency").
 	Law    string
 	Detail string
 }
@@ -43,9 +44,21 @@ func (v Violation) String() string { return v.Law + ": " + v.Detail }
 
 // Options tunes a Checker.
 type Options struct {
-	// SampleEvery runs the O(servers) deep scan once per this many
-	// observations (default 64). The scan always also runs at Finalize.
+	// SampleEvery runs the deep scan once per this many observations
+	// (default 64). The scan always also runs at Finalize.
 	SampleEvery int
+	// ScanBudget caps how many servers one deep scan (and one Finalize
+	// energy pass) visits — default 256, negative means unbounded. A
+	// bounded scan drains the dirty set first (servers dispatched to
+	// since the last scan, in first-touch order), then spends the rest
+	// of the budget round-robin from a rotating cursor, so quiet
+	// servers are still revisited eventually. This is what keeps the
+	// checker O(1) per boundary on million-server farms.
+	ScanBudget int
+	// Farm, when set, supplies the whole-farm incremental aggregates so
+	// Finalize's task-conservation sums are O(1) instead of a walk over
+	// every server. The farm must hold exactly the checked servers.
+	Farm *server.Farm
 	// Stationary additionally checks the statistical form of Little's
 	// law at Finalize: |L − λW| within the 95% CI of the mean sojourn.
 	// Only meaningful for runs long enough to be near steady state.
@@ -85,6 +98,16 @@ type Checker struct {
 	obs     int64
 	scanIn  int // observations until the next deep scan
 
+	// Bounded-scan state: scanBudget is the resolved per-scan cap (-1
+	// unbounded); dirty lists server positions dispatched to since the
+	// last scan in first-touch order, dirtyBits is its membership
+	// bitset, and cursor rotates background coverage across scans.
+	scanBudget int
+	dirty      []int32
+	dirtyBits  []uint64
+	cursor     int
+	idxOf      map[int]int32 // server ID → position; nil when IDs are dense
+
 	// Little's-law bookkeeping in exact integer nanoseconds: the area
 	// under N(t) must equal the summed time-in-system of every job,
 	// completed, lost, or still open, with no tolerance at all. Loss
@@ -120,9 +143,26 @@ func Attach(eng *engine.Engine, gen *workload.Generator, s *sched.Scheduler,
 	if opts.MaxViolations <= 0 {
 		opts.MaxViolations = 32
 	}
+	budget := opts.ScanBudget
+	if budget == 0 {
+		budget = 256
+	} else if budget < 0 {
+		budget = -1
+	}
 	c := &Checker{
 		eng: eng, gen: gen, sched: s, servers: servers, net: net, opts: opts,
-		scanIn: opts.SampleEvery,
+		scanIn:     opts.SampleEvery,
+		scanBudget: budget,
+		dirtyBits:  make([]uint64, (len(servers)+63)/64),
+	}
+	for i, srv := range servers {
+		if srv.ID() != i {
+			c.idxOf = make(map[int]int32, len(servers))
+			for j, sv := range servers {
+				c.idxOf[sv.ID()] = int32(j)
+			}
+			break
+		}
 	}
 	s.OnJobArrived(c.onArrive)
 	s.OnJobDone(c.onDone)
@@ -231,6 +271,7 @@ func (c *Checker) onLost(j *job.Job, reason sched.LostReason) {
 
 func (c *Checker) onDispatch(srv *server.Server, t *job.Task) {
 	c.observe()
+	c.markDirty(srv)
 	if t.ServerID >= 0 && t.ServerID != srv.ID() {
 		c.report("placement", "task %s placed on server %d, dispatched to %d", t.Name(), t.ServerID, srv.ID())
 	}
@@ -264,18 +305,80 @@ func (c *Checker) Err() error {
 	return fmt.Errorf("invariant: %d violation(s): %s", len(c.violations), msg)
 }
 
-// deepScan is the O(servers) non-negativity and range scan.
+// markDirty records a server touched by a dispatch since the last deep
+// scan, in first-touch order, so bounded scans look there first.
+func (c *Checker) markDirty(srv *server.Server) {
+	i := int32(srv.ID())
+	if c.idxOf != nil {
+		var ok bool
+		if i, ok = c.idxOf[srv.ID()]; !ok {
+			return
+		}
+	}
+	if c.dirtyBits[i>>6]&(1<<(uint(i)&63)) != 0 {
+		return
+	}
+	c.dirtyBits[i>>6] |= 1 << (uint(i) & 63)
+	c.dirty = append(c.dirty, i)
+}
+
+func (c *Checker) isDirty(i int) bool {
+	return c.dirtyBits[i>>6]&(1<<(uint(i)&63)) != 0
+}
+
+func (c *Checker) clearDirty() {
+	for _, i := range c.dirty {
+		c.dirtyBits[i>>6] &^= 1 << (uint(i) & 63)
+	}
+	c.dirty = c.dirty[:0]
+}
+
+// scanServer runs the per-server laws: counter non-negativity, core
+// range, and agreement between the incremental queue counter and a
+// from-scratch recount of the queue structures.
+func (c *Checker) scanServer(srv *server.Server) {
+	q := srv.QueueLen()
+	if q < 0 {
+		c.report("non-negative-queues", "server %d queue length %d", srv.ID(), q)
+	}
+	if r := srv.RecountQueueLen(); q != r {
+		c.report("queue-counter", "server %d incremental queue counter %d != recount %d", srv.ID(), q, r)
+	}
+	if b := srv.BusyCores(); b < 0 || b > srv.Cores() {
+		c.report("non-negative-queues", "server %d busy cores %d of %d", srv.ID(), b, srv.Cores())
+	}
+	if k := c.sched.Committed(srv.ID()); k < 0 {
+		c.report("non-negative-queues", "server %d committed count %d", srv.ID(), k)
+	}
+}
+
+// deepScan runs the per-server laws over at most ScanBudget servers —
+// the dirty set first, then round-robin from the rotating cursor — plus
+// the global-queue, scope, and network laws.
 func (c *Checker) deepScan() {
-	for _, srv := range c.servers {
-		if q := srv.QueueLen(); q < 0 {
-			c.report("non-negative-queues", "server %d queue length %d", srv.ID(), q)
+	n := len(c.servers)
+	if c.scanBudget < 0 || c.scanBudget >= n {
+		for _, srv := range c.servers {
+			c.scanServer(srv)
 		}
-		if b := srv.BusyCores(); b < 0 || b > srv.Cores() {
-			c.report("non-negative-queues", "server %d busy cores %d of %d", srv.ID(), b, srv.Cores())
+		c.clearDirty()
+	} else {
+		for _, i := range c.dirty {
+			c.scanServer(c.servers[i])
 		}
-		if k := c.sched.Committed(srv.ID()); k < 0 {
-			c.report("non-negative-queues", "server %d committed count %d", srv.ID(), k)
+		rem := c.scanBudget - len(c.dirty)
+		for tries := 0; rem > 0 && tries < n; tries++ {
+			i := c.cursor
+			if c.cursor++; c.cursor >= n {
+				c.cursor = 0
+			}
+			if c.isDirty(i) {
+				continue // already scanned this round
+			}
+			c.scanServer(c.servers[i])
+			rem--
 		}
+		c.clearDirty()
 	}
 	if q := c.sched.GlobalQueueLen(); q < 0 {
 		c.report("non-negative-queues", "global queue length %d", q)
@@ -352,9 +455,17 @@ func (c *Checker) Finalize(end simtime.Time) []Violation {
 	// crashed server — whether or not it was requeued as a fresh
 	// incarnation — or retracted with a lost job).
 	var tasksDone, tasksPending int64
-	for _, srv := range c.servers {
-		tasksDone += srv.CompletedTasks()
-		tasksPending += int64(srv.PendingTasks())
+	if f := c.opts.Farm; f != nil {
+		// O(1): the farm maintains these sums incrementally at every
+		// queue/core mutation, so Finalize need not walk a million
+		// servers to close the books.
+		tasksDone = f.TotalCompleted()
+		tasksPending = f.TotalPending()
+	} else {
+		for _, srv := range c.servers {
+			tasksDone += srv.CompletedTasks()
+			tasksPending += int64(srv.PendingTasks())
+		}
 	}
 	aborted := c.sched.TasksAborted()
 	if dispatched := c.sched.TasksDispatched(); dispatched != tasksDone+tasksPending+aborted {
@@ -387,58 +498,76 @@ func (c *Checker) Finalize(end simtime.Time) []Violation {
 // energy must be finite, non-negative, and within the profile's
 // physical power envelope — an envelope that excludes down-time
 // residency, since a crashed server draws nothing. Billing any power
-// during an outage therefore breaks the law.
+// during an outage therefore breaks the law. On farms larger than
+// ScanBudget the pass samples budget-many servers from the rotating
+// cursor rather than walking all of them.
 func (c *Checker) checkEnergy(end simtime.Time) {
-	for _, srv := range c.servers {
-		downFrac := 0.0
-		fr := srv.Residency().FractionsTo(end)
-		if len(fr) > 0 {
-			sum := 0.0
-			for _, f := range fr {
-				if f < -RelTol {
-					c.report("energy-closure", "server %d negative residency fraction %g", srv.ID(), f)
-				}
-				sum += f
+	n := len(c.servers)
+	if c.scanBudget < 0 || c.scanBudget >= n {
+		for _, srv := range c.servers {
+			c.checkServerEnergy(srv, end)
+		}
+		return
+	}
+	for k := 0; k < c.scanBudget; k++ {
+		i := c.cursor
+		if c.cursor++; c.cursor >= n {
+			c.cursor = 0
+		}
+		c.checkServerEnergy(c.servers[i], end)
+	}
+}
+
+// checkServerEnergy runs the energy-closure laws for one server.
+func (c *Checker) checkServerEnergy(srv *server.Server, end simtime.Time) {
+	downFrac := 0.0
+	fr := srv.Residency().FractionsTo(end)
+	if len(fr) > 0 {
+		sum := 0.0
+		for _, f := range fr {
+			if f < -RelTol {
+				c.report("energy-closure", "server %d negative residency fraction %g", srv.ID(), f)
 			}
-			if math.Abs(sum-1) > 1e3*RelTol {
-				c.report("energy-closure", "server %d residency fractions sum to %.12g", srv.ID(), sum)
-			}
-			downFrac = fr[server.StateDown]
-			if downFrac < 0 {
-				downFrac = 0
-			} else if downFrac > 1 {
-				downFrac = 1
-			}
+			sum += f
 		}
-		cpu, dram, plat := srv.CPUEnergyTo(end), srv.DRAMEnergyTo(end), srv.PlatformEnergyTo(end)
-		total := srv.EnergyTo(end)
-		for _, e := range [...]struct {
-			name string
-			j    float64
-		}{{"cpu", cpu}, {"dram", dram}, {"platform", plat}, {"total", total}} {
-			if math.IsNaN(e.j) || math.IsInf(e.j, 0) || e.j < 0 {
-				c.report("energy-closure", "server %d %s energy %g J", srv.ID(), e.name, e.j)
-			}
+		if math.Abs(sum-1) > 1e3*RelTol {
+			c.report("energy-closure", "server %d residency fractions sum to %.12g", srv.ID(), sum)
 		}
-		if !closeRel(total, cpu+dram+plat, RelTol) {
-			c.report("energy-closure", "server %d total %g J != components %g J",
-				srv.ID(), total, cpu+dram+plat)
+		downFrac = fr[server.StateDown]
+		if downFrac < 0 {
+			downFrac = 0
+		} else if downFrac > 1 {
+			downFrac = 1
 		}
-		// Envelope over up-time only: down residency contributes no
-		// joules. Healthy servers keep the strict pre-fault tolerance;
-		// only a server that actually spent time down gets slack for the
-		// float division in its residency fractions — and any real
-		// down-time billing (idle power alone is tens of watts) exceeds
-		// that slack by orders of magnitude.
-		tol, slack := RelTol, 0.0
-		if downFrac > 0 {
-			tol, slack = 1e3*RelTol, 1e-6
+	}
+	cpu, dram, plat := srv.CPUEnergyTo(end), srv.DRAMEnergyTo(end), srv.PlatformEnergyTo(end)
+	total := srv.EnergyTo(end)
+	for _, e := range [...]struct {
+		name string
+		j    float64
+	}{{"cpu", cpu}, {"dram", dram}, {"platform", plat}, {"total", total}} {
+		if math.IsNaN(e.j) || math.IsInf(e.j, 0) || e.j < 0 {
+			c.report("energy-closure", "server %d %s energy %g J", srv.ID(), e.name, e.j)
 		}
-		if cap := powerCap(srv) * end.Seconds() * (1 - downFrac); end > 0 &&
-			total > cap*(1+tol)+slack {
-			c.report("energy-closure", "server %d energy %g J exceeds up-time power envelope %g J (down %.3g)",
-				srv.ID(), total, cap, downFrac)
-		}
+	}
+	if !closeRel(total, cpu+dram+plat, RelTol) {
+		c.report("energy-closure", "server %d total %g J != components %g J",
+			srv.ID(), total, cpu+dram+plat)
+	}
+	// Envelope over up-time only: down residency contributes no
+	// joules. Healthy servers keep the strict pre-fault tolerance;
+	// only a server that actually spent time down gets slack for the
+	// float division in its residency fractions — and any real
+	// down-time billing (idle power alone is tens of watts) exceeds
+	// that slack by orders of magnitude.
+	tol, slack := RelTol, 0.0
+	if downFrac > 0 {
+		tol, slack = 1e3*RelTol, 1e-6
+	}
+	if cap := powerCap(srv) * end.Seconds() * (1 - downFrac); end > 0 &&
+		total > cap*(1+tol)+slack {
+		c.report("energy-closure", "server %d energy %g J exceeds up-time power envelope %g J (down %.3g)",
+			srv.ID(), total, cap, downFrac)
 	}
 }
 

@@ -202,9 +202,7 @@ func (s *Scheduler) killJob(j *job.Job, reason LostReason) {
 				if !srv.Failed() && srv.Abort(t) {
 					s.tasksAborted++
 				}
-				if s.committed[t.ServerID] > 0 {
-					s.committed[t.ServerID]--
-				}
+				s.commit(t.ServerID, -1)
 			}
 			t.State = job.TaskLost
 		}
@@ -287,9 +285,7 @@ func (s *Scheduler) ServersCrashed(srvs []*server.Server) (jobsLost, orphans int
 			}
 			// Requeue: release the dead server's commitment and re-admit
 			// the task as if it had just become ready.
-			if s.committed[set.id] > 0 {
-				s.committed[set.id]--
-			}
+			s.commit(set.id, -1)
 			t.State = job.TaskReady
 			t.ReadyAt = s.eng.Now()
 			t.ServerID = -1

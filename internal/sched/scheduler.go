@@ -69,8 +69,17 @@ type Scheduler struct {
 
 	// committed counts tasks placed on each server that have not yet
 	// finished — including DAG tasks still waiting on parents or data
-	// transfers, which the server's own PendingTasks cannot see.
+	// transfers, which the server's own PendingTasks cannot see. All
+	// mutations go through commit so the shard aggregates stay in sync.
 	committed []int
+
+	// Candidate-set sharding (SetShards): shardOf maps each server to its
+	// shard (rack/pod/block); shardLoad mirrors the per-shard sum of
+	// committed; shardMembers lists each shard's servers in ID order. Nil
+	// shardOf = sharding off, zero cost.
+	shardOf      []int32
+	shardLoad    []int64
+	shardMembers [][]*server.Server
 
 	globalQ []*job.Task
 
@@ -184,6 +193,79 @@ func (s *Scheduler) TasksDispatched() int64 { return s.jobsDispatched }
 // Load, it is not clamped against the server's own pending count.
 func (s *Scheduler) Committed(serverID int) int { return s.committed[serverID] }
 
+// commit is the single mutation point for the committed counters: it
+// applies delta to server id and keeps the per-shard load sums in sync.
+// Decrements clamp at zero (fault paths can release a commitment that a
+// crash already zeroed), in which case the shard sum is untouched too.
+func (s *Scheduler) commit(id, delta int) {
+	if delta < 0 && s.committed[id] <= 0 {
+		return
+	}
+	s.committed[id] += delta
+	if s.shardOf != nil {
+		s.shardLoad[s.shardOf[id]] += int64(delta)
+	}
+}
+
+// SetShards partitions the farm into placement shards — rack- or
+// pod-sized candidate subsets. shardOf maps each server ID to its shard
+// in [0, n). The ShardedLeastLoaded placer then picks the least-committed
+// shard and scans only its members instead of the whole farm, turning
+// O(N) placement into O(shards + N/shards). Sharding is bookkeeping only:
+// placers that ignore it behave exactly as before. Passing nil shardOf
+// disables sharding.
+func (s *Scheduler) SetShards(shardOf []int32, n int) error {
+	if shardOf == nil {
+		s.shardOf, s.shardLoad, s.shardMembers = nil, nil, nil
+		return nil
+	}
+	if len(shardOf) != len(s.servers) {
+		return fmt.Errorf("sched: %d shard assignments for %d servers", len(shardOf), len(s.servers))
+	}
+	if n <= 0 {
+		return fmt.Errorf("sched: shard count %d", n)
+	}
+	load := make([]int64, n)
+	members := make([][]*server.Server, n)
+	counts := make([]int, n)
+	for id, sh := range shardOf {
+		if sh < 0 || int(sh) >= n {
+			return fmt.Errorf("sched: server %d assigned to shard %d of %d", id, sh, n)
+		}
+		counts[sh]++
+		load[sh] += int64(s.committed[id])
+	}
+	for sh, c := range counts {
+		members[sh] = make([]*server.Server, 0, c)
+	}
+	for id, sh := range shardOf {
+		members[sh] = append(members[sh], s.servers[id])
+	}
+	s.shardOf, s.shardLoad, s.shardMembers = shardOf, load, members
+	return nil
+}
+
+// Sharded reports whether candidate-set sharding is active.
+func (s *Scheduler) Sharded() bool { return s.shardOf != nil }
+
+// ShardLoad reports the committed-task sum of one shard (diagnostics and
+// invariant checks).
+func (s *Scheduler) ShardLoad(shard int) int64 { return s.shardLoad[shard] }
+
+// BlockShards builds a synthetic contiguous-block shard map: servers
+// [0,size) form shard 0, [size,2*size) shard 1, and so on — the fallback
+// when no topology is attached. It returns the map and the shard count.
+func BlockShards(nServers, size int) ([]int32, int) {
+	if size <= 0 {
+		size = 1
+	}
+	out := make([]int32, nServers)
+	for i := range out {
+		out[i] = int32(i / size)
+	}
+	return out, (nServers + size - 1) / size
+}
+
 // LoadPerServer reports jobs in system divided by the candidate pool
 // size (the provisioning and adaptive policies' load metric).
 func (s *Scheduler) LoadPerServer(poolSize int) float64 {
@@ -264,7 +346,7 @@ func (s *Scheduler) admitReady(t *job.Task) {
 	if s.cfg.UseGlobalQueue {
 		if srv := s.availableServer(t); srv != nil {
 			t.ServerID = srv.ID()
-			s.committed[srv.ID()]++
+			s.commit(srv.ID(), 1)
 			s.cover.Hit(modelcov.PlaceGlobalQDirect)
 			s.submit(srv, t)
 		} else {
@@ -279,9 +361,7 @@ func (s *Scheduler) admitReady(t *job.Task) {
 	if t.ServerID >= 0 && s.downCount > 0 && s.servers[t.ServerID].Failed() {
 		// Statically placed on a server that crashed before dispatch.
 		s.cover.Hit(modelcov.SchedStaticReplace)
-		if s.committed[t.ServerID] > 0 {
-			s.committed[t.ServerID]--
-		}
+		s.commit(t.ServerID, -1)
 		t.ServerID = -1
 	}
 	if t.ServerID < 0 {
@@ -301,7 +381,7 @@ func (s *Scheduler) place(t *job.Task) error {
 		return err
 	}
 	t.ServerID = srv.ID()
-	s.committed[srv.ID()]++
+	s.commit(srv.ID(), 1)
 	return nil
 }
 
@@ -336,8 +416,8 @@ func (s *Scheduler) submit(srv *server.Server, t *job.Task) {
 // launches data transfers, completes jobs, and drains the global queue.
 func (s *Scheduler) taskDone(srv *server.Server, t *job.Task) {
 	now := s.eng.Now()
-	if t.ServerID >= 0 && s.committed[t.ServerID] > 0 {
-		s.committed[t.ServerID]--
+	if t.ServerID >= 0 {
+		s.commit(t.ServerID, -1)
 	}
 	j := t.Job
 	if j.TaskFinished(t, now) {
@@ -399,7 +479,7 @@ func (s *Scheduler) drainGlobalQueue() {
 			// dispatched task holds one commitment, so taskDone's
 			// decrement — and the crash path's per-orphan decommit —
 			// release exactly what was taken.
-			s.committed[srv.ID()]++
+			s.commit(srv.ID(), 1)
 			s.submit(srv, t)
 		} else {
 			remaining = append(remaining, t)

@@ -1,0 +1,188 @@
+package sched
+
+import (
+	"testing"
+
+	"holdcsim/internal/job"
+	"holdcsim/internal/server"
+	"holdcsim/internal/simtime"
+)
+
+func TestBlockShards(t *testing.T) {
+	m, n := BlockShards(10, 4)
+	if n != 3 {
+		t.Fatalf("shard count = %d, want 3", n)
+	}
+	want := []int32{0, 0, 0, 0, 1, 1, 1, 1, 2, 2}
+	for i, sh := range m {
+		if sh != want[i] {
+			t.Fatalf("shardOf[%d] = %d, want %d", i, sh, want[i])
+		}
+	}
+	if _, n := BlockShards(8, 0); n != 8 { // degenerate size clamps to 1
+		t.Fatalf("size-0 shard count = %d, want 8", n)
+	}
+}
+
+func TestSetShardsValidation(t *testing.T) {
+	eng, servers := testFarm(t, 4, nil)
+	s, err := New(eng, servers, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetShards([]int32{0, 0, 1}, 2); err == nil {
+		t.Errorf("length mismatch accepted")
+	}
+	if err := s.SetShards([]int32{0, 0, 1, 5}, 2); err == nil {
+		t.Errorf("out-of-range shard accepted")
+	}
+	if err := s.SetShards([]int32{0, 0, 1, 1}, 0); err == nil {
+		t.Errorf("zero shard count accepted")
+	}
+	if err := s.SetShards([]int32{0, 0, 1, 1}, 2); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Sharded() {
+		t.Fatalf("Sharded() false after SetShards")
+	}
+	if err := s.SetShards(nil, 0); err != nil || s.Sharded() {
+		t.Fatalf("nil shardOf should disable sharding (err=%v)", err)
+	}
+}
+
+// Shard load sums must track the committed counters through placement,
+// completion, and fault paths — commit is the single mutation point.
+func TestShardLoadMirrorsCommitted(t *testing.T) {
+	eng, servers := testFarm(t, 8, nil)
+	s, err := New(eng, servers, Config{Placer: ShardedLeastLoaded{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shardOf, n := BlockShards(8, 2)
+	if err := s.SetShards(shardOf, n); err != nil {
+		t.Fatal(err)
+	}
+	check := func(where string) {
+		sums := make([]int64, n)
+		for id := range servers {
+			sums[shardOf[id]] += int64(s.Committed(id))
+		}
+		for sh, want := range sums {
+			if got := s.ShardLoad(sh); got != want {
+				t.Fatalf("%s: shard %d load %d, want %d", where, sh, got, want)
+			}
+		}
+	}
+	for i := 0; i < 40; i++ {
+		j := singleJob(job.ID(i), 0, 5*simtime.Millisecond)
+		eng.Schedule(0, func() { s.JobArrived(j) })
+	}
+	for eng.Step() {
+		check("mid-run")
+	}
+	check("after run")
+	// Crash/recover releases and re-takes commitments through commit too.
+	for i := 40; i < 56; i++ {
+		j := singleJob(job.ID(i), eng.Now(), 50*simtime.Millisecond)
+		s.JobArrived(j)
+	}
+	check("after burst")
+	s.ServersCrashed(servers[:2])
+	check("after crash")
+	s.ServersRecovered(servers[:2])
+	check("after recover")
+	eng.Run()
+	check("final")
+}
+
+// With a healthy full-farm candidate set the sharded placer must pick the
+// least-committed shard (lowest index on ties), then the least-loaded
+// member within it.
+func TestShardedLeastLoadedPicksEmptiestShard(t *testing.T) {
+	eng, servers := testFarm(t, 6, nil)
+	s, err := New(eng, servers, Config{Placer: ShardedLeastLoaded{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shardOf, n := BlockShards(6, 2)
+	if err := s.SetShards(shardOf, n); err != nil {
+		t.Fatal(err)
+	}
+	// Load shards 0 and 1 with long-running jobs so shard 2 is emptiest.
+	var placed []int
+	s.OnDispatch(func(srv *server.Server, _ *job.Task) { placed = append(placed, srv.ID()) })
+	for i := 0; i < 4; i++ {
+		s.JobArrived(singleJob(job.ID(i), 0, simtime.Second))
+	}
+	if len(placed) != 4 {
+		t.Fatalf("dispatched %d tasks, want 4", len(placed))
+	}
+	// First two placements land on the first member of shards 0 and 1? No:
+	// argmin over loads with ties to the lowest shard. Sequence: all loads
+	// 0 → shard 0, server 0. Then shard 0 has load 1 → shard 1, server 2.
+	// Then shard 2, server 4. Then shards tie at 1 → shard 0, server 1
+	// (least-loaded member within shard 0).
+	want := []int{0, 2, 4, 1}
+	for i, id := range placed {
+		if id != want[i] {
+			t.Fatalf("placement %d landed on server %d, want %v", i, placed, want)
+		}
+	}
+	eng.Run()
+}
+
+// Sharded placement must agree with plain LeastLoaded semantics when
+// sharding is off or the candidate set is restricted (kinds, faults).
+func TestShardedFallsBackWithoutShards(t *testing.T) {
+	eng, servers := testFarm(t, 4, nil)
+	s, err := New(eng, servers, Config{Placer: ShardedLeastLoaded{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var placed []int
+	s.OnDispatch(func(srv *server.Server, _ *job.Task) { placed = append(placed, srv.ID()) })
+	for i := 0; i < 4; i++ {
+		s.JobArrived(singleJob(job.ID(i), 0, simtime.Second))
+	}
+	// No shards: exact LeastLoaded order (0,1,2,3 as loads tie upward).
+	want := []int{0, 1, 2, 3}
+	for i, id := range placed {
+		if id != want[i] {
+			t.Fatalf("placement %d landed on %v, want %v", i, placed, want)
+		}
+	}
+	eng.Run()
+}
+
+// Under faults the candidate set arrives alive-filtered (len !=
+// len(servers)), so the sharded placer must take the fallback and never
+// return a dead server.
+func TestShardedAvoidsCrashedServers(t *testing.T) {
+	eng, servers := testFarm(t, 6, nil)
+	s, err := New(eng, servers, Config{Placer: ShardedLeastLoaded{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shardOf, n := BlockShards(6, 2)
+	if err := s.SetShards(shardOf, n); err != nil {
+		t.Fatal(err)
+	}
+	s.ServersCrashed(servers[:2]) // kill all of shard 0
+	var placed []int
+	s.OnDispatch(func(srv *server.Server, _ *job.Task) { placed = append(placed, srv.ID()) })
+	for i := 0; i < 8; i++ {
+		s.JobArrived(singleJob(job.ID(i), 0, 10*simtime.Millisecond))
+	}
+	for _, id := range placed {
+		if servers[id].Failed() {
+			t.Fatalf("task placed on crashed server %d", id)
+		}
+		if id < 2 {
+			t.Fatalf("task placed on dead shard member %d", id)
+		}
+	}
+	eng.Run()
+	if s.JobsCompleted() != 8 {
+		t.Fatalf("completed %d of 8 with shard 0 down", s.JobsCompleted())
+	}
+}

@@ -26,6 +26,8 @@ type Core struct {
 	task      *job.Task
 	finishEv  engine.Handle
 	finishCB  func() // cached completion closure, one per core
+	wakeCB    func() // cached wake-completion closure, one per core
+	wakeEpoch uint32 // server epoch the in-flight wake was armed under
 	idleTimer *engine.Timer
 	target    power.CState // next C-state the idle timer promotes into
 	idleStart simtime.Time // when the current idle period began
@@ -76,29 +78,40 @@ func (c *Core) assign(t *job.Task) {
 	c.waking = true
 	c.wakeTrans = trans
 	c.reserved = t
+	c.srv.queueDelta(1)
 	if sk := c.srv.socketOf(c.id); c.srv.sockets[sk] != power.PC0 {
 		// The package exits PC6/PC2 as soon as any of its cores wakes.
 		c.srv.setSocketState(sk, power.PC0)
 	}
 	c.srv.recompute()
-	epoch := c.srv.epoch
-	c.srv.eng.After(trans.Latency, func() {
-		if c.srv.epoch != epoch {
-			return // the server crashed mid-wake; the transition is void
-		}
-		c.waking = false
-		c.cstate = power.C0
-		task := c.reserved
-		c.reserved = nil
-		if task == nil {
-			// The reservation was aborted (its job was lost) while the
-			// wake was committed: the core simply goes idle.
-			c.becomeIdle()
-			c.srv.checkServerIdle()
-			return
-		}
-		c.run(task)
-	})
+	// One wake is in flight per core at a time (c.waking), so the armed
+	// epoch lives in a field and the completion closure is cached — the
+	// idle→C6→wake cycle allocates nothing.
+	c.wakeEpoch = c.srv.epoch
+	if c.wakeCB == nil {
+		c.wakeCB = c.wakeDone
+	}
+	c.srv.eng.After(trans.Latency, c.wakeCB)
+}
+
+// wakeDone completes a core wake transition: the reserved task runs, or
+// (if its reservation was aborted while the wake was committed) the core
+// simply goes idle.
+func (c *Core) wakeDone() {
+	if c.srv.epoch != c.wakeEpoch {
+		return // the server crashed mid-wake; the transition is void
+	}
+	c.waking = false
+	c.cstate = power.C0
+	task := c.reserved
+	c.reserved = nil
+	if task == nil {
+		c.becomeIdle()
+		c.srv.checkServerIdle()
+		return
+	}
+	c.srv.queueDelta(-1)
+	c.run(task)
 }
 
 // wakeTransition reports the cost of leaving the current C-state,
@@ -132,7 +145,7 @@ func (c *Core) run(t *job.Task) {
 	c.task = t
 	t.State = job.TaskRunning
 	t.StartAt = now
-	c.srv.busyCores++
+	c.srv.busyDelta(1)
 	c.srv.recompute()
 	dur := t.ServiceTime(c.effectiveSpeed())
 	if c.finishCB == nil {
@@ -148,7 +161,7 @@ func (c *Core) finish() {
 	c.task = nil
 	c.finishEv = engine.Handle{}
 	c.completed++
-	c.srv.busyCores--
+	c.srv.busyDelta(-1)
 	c.srv.coreFinished(c, t)
 }
 
@@ -160,7 +173,7 @@ func (c *Core) abortRun() {
 	c.finishEv = engine.Handle{}
 	c.busy = false
 	c.task = nil
-	c.srv.busyCores--
+	c.srv.busyDelta(-1)
 	if next := c.srv.nextFor(c); next != nil {
 		c.run(next)
 	} else {

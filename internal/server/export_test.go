@@ -1,0 +1,8 @@
+package server
+
+// CorruptQueueCounterForTest skews the incremental queue counter
+// without touching the underlying queue structures, seeding exactly the
+// desync the invariant checker's queue-counter law exists to catch.
+// Test-only: the production code has no path that moves the counter
+// independently of the queues.
+func (s *Server) CorruptQueueCounterForTest(d int) { s.queueLen += d }

@@ -52,7 +52,31 @@ type Server struct {
 	failed bool
 	epoch  uint32
 
+	// Sleep-state delay bookkeeping. A standalone server lazily creates a
+	// private delayTimer on first arm; a farm-attached server instead
+	// registers a (deadline, seq) pair with the farm's shared sleep
+	// planner, so an idle server holds no queued engine event of its own.
 	delayTimer *engine.Timer
+	farm       *Farm
+	fidx       int32
+	sleepArmed bool
+	sleepAt    simtime.Time
+	sleepSeq   uint64
+
+	// queueLen mirrors the queued + reserved task count (the sum QueueLen
+	// used to recompute by walking every core) and is maintained at each
+	// mutation; RecountQueueLen is the walking oracle the invariant
+	// checker compares it against.
+	queueLen int
+
+	// Cached system-transition callbacks: suspend entry and wake each have
+	// at most one completion in flight, so the armed epoch lives in a
+	// field and the closures are allocated once — sleep cycles are
+	// alloc-free.
+	entryCB      func()
+	entryEpoch   uint32
+	sysWakeCB    func()
+	sysWakeEpoch uint32
 
 	onTaskDone []func(*Server, *job.Task)
 
@@ -75,9 +99,15 @@ type Server struct {
 	onBusyChange func(now simtime.Time, busy int)
 }
 
-// New constructs a server bound to the engine. The server starts in S0
-// with all cores idle (governor engaged).
+// New constructs a standalone server bound to the engine. The server
+// starts in S0 with all cores idle (governor engaged). Servers built in
+// bulk should go through Farm.Add instead, which shares one sleep-planner
+// timer across the population.
 func New(id int, eng *engine.Engine, cfg Config) (*Server, error) {
+	return newServer(id, eng, cfg, nil, 0)
+}
+
+func newServer(id int, eng *engine.Engine, cfg Config, farm *Farm, fidx int32) (*Server, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -89,6 +119,8 @@ func New(id int, eng *engine.Engine, cfg Config) (*Server, error) {
 		eng:       eng,
 		cfg:       cfg,
 		prof:      cfg.Profile,
+		farm:      farm,
+		fidx:      fidx,
 		sstate:    power.S0,
 		sockets:   make([]power.PkgCState, cfg.Profile.SocketCount()),
 		cpuMeter:  stats.NewEnergyMeter(fmt.Sprintf("server%d.cpu", id)),
@@ -104,13 +136,60 @@ func New(id int, eng *engine.Engine, cfg Config) (*Server, error) {
 		}
 		s.cores[i] = &Core{id: i, srv: s, speed: speed}
 	}
-	s.delayTimer = engine.NewTimer(eng, func() { s.enterSleep() })
 	s.recompute()
 	for _, c := range s.cores {
 		c.becomeIdle()
 	}
 	s.checkServerIdle()
 	return s, nil
+}
+
+// armSleep schedules enterSleep d from now, replacing any pending
+// deadline (Timer.Reset semantics). Farm servers go through the shared
+// planner; standalone servers lazily create their private timer — so a
+// server whose profile never enables the delay timer allocates no timer
+// at all.
+func (s *Server) armSleep(d simtime.Time) {
+	if s.farm != nil {
+		s.farm.planner.arm(s, s.eng.Now()+d)
+		return
+	}
+	if s.delayTimer == nil {
+		s.delayTimer = engine.NewTimer(s.eng, func() { s.enterSleep() })
+	}
+	s.delayTimer.Reset(d)
+}
+
+// disarmSleep cancels any pending suspend. Cheap no-op when nothing is
+// armed.
+func (s *Server) disarmSleep() {
+	if s.farm != nil {
+		s.farm.planner.disarm(s)
+		return
+	}
+	if s.delayTimer != nil {
+		s.delayTimer.Stop()
+	}
+}
+
+// queueDelta adjusts the maintained queued+reserved count and the farm's
+// pending aggregates.
+func (s *Server) queueDelta(d int) {
+	s.queueLen += d
+	if s.farm != nil {
+		s.farm.pending[s.fidx] += int32(d)
+		s.farm.totalPending += int64(d)
+	}
+}
+
+// busyDelta adjusts the busy-core count and the farm's pending aggregates
+// (pending = queued + reserved + running).
+func (s *Server) busyDelta(d int) {
+	s.busyCores += d
+	if s.farm != nil {
+		s.farm.pending[s.fidx] += int32(d)
+		s.farm.totalPending += int64(d)
+	}
 }
 
 // ID reports the server's identifier.
@@ -182,8 +261,14 @@ func (s *Server) Asleep() bool {
 func (s *Server) BusyCores() int { return s.busyCores }
 
 // QueueLen reports tasks buffered locally (all queues plus wake
-// reservations, excluding running tasks).
-func (s *Server) QueueLen() int {
+// reservations, excluding running tasks). O(1): the count is maintained
+// at every queue mutation rather than recomputed by walking cores.
+func (s *Server) QueueLen() int { return s.queueLen }
+
+// RecountQueueLen recomputes the buffered-task count from first
+// principles by walking every queue — the invariant checker's oracle for
+// the maintained QueueLen counter.
+func (s *Server) RecountQueueLen() int {
 	n := len(s.queue)
 	for _, c := range s.cores {
 		n += len(c.queue)
@@ -221,7 +306,7 @@ func (s *Server) Crash() []*job.Task {
 	}
 	s.failed = true
 	s.epoch++
-	s.delayTimer.Stop()
+	s.disarmSleep()
 	var orphans []*job.Task
 	for _, c := range s.cores {
 		if c.task != nil {
@@ -247,7 +332,8 @@ func (s *Server) Crash() []*job.Task {
 	}
 	orphans = append(orphans, s.queue...)
 	s.queue = nil
-	s.busyCores = 0
+	s.queueDelta(-s.queueLen)
+	s.busyDelta(-s.busyCores)
 	s.waking, s.entering, s.wakeAfterEntry = false, false, false
 	s.sstate = power.S0 // irrelevant while failed; Recover rebuilds
 	for sk := range s.sockets {
@@ -285,6 +371,7 @@ func (s *Server) Abort(t *job.Task) bool {
 	for i, q := range s.queue {
 		if q == t {
 			s.queue = append(s.queue[:i], s.queue[i+1:]...)
+			s.queueDelta(-1)
 			return true
 		}
 	}
@@ -292,6 +379,7 @@ func (s *Server) Abort(t *job.Task) bool {
 		for i, q := range c.queue {
 			if q == t {
 				c.queue = append(c.queue[:i], c.queue[i+1:]...)
+				s.queueDelta(-1)
 				return true
 			}
 		}
@@ -299,6 +387,7 @@ func (s *Server) Abort(t *job.Task) bool {
 			// The core's wake is committed; it finds no reservation when
 			// the transition completes and simply goes idle.
 			c.reserved = nil
+			s.queueDelta(-1)
 			return true
 		}
 		if c.task == t {
@@ -318,7 +407,7 @@ func (s *Server) Submit(t *job.Task) {
 	}
 	t.State = job.TaskQueued
 	t.ServerID = s.id
-	s.delayTimer.Stop()
+	s.disarmSleep()
 	if s.entering {
 		// Suspend is committed; the wake starts when it completes.
 		s.enqueue(t)
@@ -362,12 +451,14 @@ func (s *Server) dispatch(t *job.Task) {
 			c.assign(t)
 		} else {
 			c.queue = append(c.queue, t)
+			s.queueDelta(1)
 		}
 	default: // QueueUnified
 		if c := s.pickIdleCore(); c != nil {
 			c.assign(t)
 		} else {
 			s.queue = append(s.queue, t)
+			s.queueDelta(1)
 		}
 	}
 }
@@ -404,11 +495,15 @@ func (s *Server) pickIdleCore() *Core {
 // enqueue buffers a task while the server is asleep or waking.
 func (s *Server) enqueue(t *job.Task) {
 	s.queue = append(s.queue, t)
+	s.queueDelta(1)
 }
 
 // coreFinished is called by a core when its task completes.
 func (s *Server) coreFinished(c *Core, t *job.Task) {
 	s.completedTasks++
+	if s.farm != nil {
+		s.farm.totalCompleted++
+	}
 	// Pull next work for this core before recomputing power so the
 	// busy->busy path does not bounce through an idle sample.
 	if next := s.nextFor(c); next != nil {
@@ -430,6 +525,7 @@ func (s *Server) nextFor(c *Core) *job.Task {
 		}
 		t := c.queue[0]
 		c.queue = c.queue[1:]
+		s.queueDelta(-1)
 		return t
 	}
 	if len(s.queue) == 0 {
@@ -437,6 +533,7 @@ func (s *Server) nextFor(c *Core) *job.Task {
 	}
 	t := s.queue[0]
 	s.queue = s.queue[1:]
+	s.queueDelta(-1)
 	return t
 }
 
@@ -449,10 +546,10 @@ func (s *Server) checkServerIdle() {
 	if s.sstate != power.S0 || s.waking || s.entering {
 		return
 	}
-	if s.busyCores > 0 || s.QueueLen() > 0 {
+	if s.busyCores > 0 || s.queueLen > 0 {
 		return
 	}
-	s.delayTimer.Reset(s.cfg.DelayTimer)
+	s.armSleep(s.cfg.DelayTimer)
 }
 
 // maybePkgC6 parks any socket whose cores have all reached C6.
@@ -493,7 +590,7 @@ func (s *Server) setSocketState(sk int, ps power.PkgCState) {
 // until entry completes and the wake path runs.
 func (s *Server) enterSleep() {
 	if s.failed || s.sstate != power.S0 || s.waking || s.entering ||
-		s.busyCores > 0 || s.QueueLen() > 0 {
+		s.busyCores > 0 || s.queueLen > 0 {
 		return
 	}
 	s.entering = true
@@ -504,19 +601,25 @@ func (s *Server) enterSleep() {
 		s.sockets[sk] = power.PC6
 	}
 	s.recompute()
-	epoch := s.epoch
-	s.eng.After(s.prof.SleepEntry.Latency, func() {
-		if s.epoch != epoch {
-			return // the server crashed mid-suspend; the transition is void
-		}
-		s.entering = false
-		s.sstate = s.cfg.SleepState
-		s.recompute()
-		if s.wakeAfterEntry || s.QueueLen() > 0 {
-			s.wakeAfterEntry = false
-			s.beginWake()
-		}
-	})
+	s.entryEpoch = s.epoch
+	if s.entryCB == nil {
+		s.entryCB = s.sleepEntryDone
+	}
+	s.eng.After(s.prof.SleepEntry.Latency, s.entryCB)
+}
+
+// sleepEntryDone completes the suspend transition.
+func (s *Server) sleepEntryDone() {
+	if s.epoch != s.entryEpoch {
+		return // the server crashed mid-suspend; the transition is void
+	}
+	s.entering = false
+	s.sstate = s.cfg.SleepState
+	s.recompute()
+	if s.wakeAfterEntry || s.queueLen > 0 {
+		s.wakeAfterEntry = false
+		s.beginWake()
+	}
 }
 
 // ForceSleep immediately starts the suspend transition if the server is
@@ -524,10 +627,10 @@ func (s *Server) enterSleep() {
 // Sec. IV-C). It reports whether the transition was initiated.
 func (s *Server) ForceSleep() bool {
 	if s.failed || s.sstate != power.S0 || s.waking || s.entering ||
-		s.busyCores > 0 || s.QueueLen() > 0 {
+		s.busyCores > 0 || s.queueLen > 0 {
 		return false
 	}
-	s.delayTimer.Stop()
+	s.disarmSleep()
 	s.enterSleep()
 	return true
 }
@@ -563,13 +666,20 @@ func (s *Server) beginWake() {
 		trans = s.prof.WakeS5
 	}
 	s.recompute()
-	epoch := s.epoch
-	s.eng.After(trans.Latency, func() {
-		if s.epoch != epoch {
-			return // the server crashed mid-wake; the transition is void
-		}
-		s.finishWake()
-	})
+	s.sysWakeEpoch = s.epoch
+	if s.sysWakeCB == nil {
+		s.sysWakeCB = s.sysWakeDone
+	}
+	s.eng.After(trans.Latency, s.sysWakeCB)
+}
+
+// sysWakeDone completes the system wake unless the server crashed while
+// the transition was in flight.
+func (s *Server) sysWakeDone() {
+	if s.epoch != s.sysWakeEpoch {
+		return
+	}
+	s.finishWake()
 }
 
 // finishWake completes the system wake: package powers up, queued work
@@ -581,9 +691,11 @@ func (s *Server) finishWake() {
 		s.sockets[sk] = power.PC0
 	}
 	s.recompute()
-	// Drain the backlog onto available cores.
+	// Drain the backlog onto available cores. Each dispatch re-counts the
+	// task if it lands back in a queue or reservation.
 	pending := s.queue
 	s.queue = nil
+	s.queueDelta(-len(pending))
 	for _, t := range pending {
 		s.dispatch(t)
 	}
@@ -605,10 +717,24 @@ func (s *Server) SetDelayTimer(enabled bool, d simtime.Time) {
 	s.cfg.DelayTimerEnabled = enabled
 	s.cfg.DelayTimer = d
 	if !enabled {
-		s.delayTimer.Stop()
+		s.disarmSleep()
 		return
 	}
 	s.checkServerIdle()
+}
+
+// SleepDeadline reports the instant the server will begin suspending and
+// whether a suspend is pending — the lazily derived sleep instant: farm
+// servers read their planner deadline field, standalone servers their
+// private timer.
+func (s *Server) SleepDeadline() (simtime.Time, bool) {
+	if s.farm != nil {
+		return s.sleepAt, s.sleepArmed
+	}
+	if s.delayTimer != nil && s.delayTimer.Armed() {
+		return s.delayTimer.Deadline(), true
+	}
+	return 0, false
 }
 
 // DelayTimerConfig reports the current delay-timer setting.

@@ -89,6 +89,28 @@ func (r *Residency) FractionsTo(t simtime.Time) map[string]float64 {
 	return out
 }
 
+// AddFractionsTo accumulates the same per-state fractions FractionsTo
+// reports into `into`, without allocating a result map per call. Each
+// fraction is computed with the identical division FractionsTo performs
+// (same DurationTo numerator, same total-seconds divisor), so aggregates
+// built from either path are bit-for-bit equal; only the per-call map
+// allocation is gone. Keys this tracker never observed are left untouched.
+func (r *Residency) AddFractionsTo(t simtime.Time, into map[string]float64) {
+	if !r.started {
+		return
+	}
+	total := (t - r.t0).Seconds()
+	if total <= 0 {
+		return
+	}
+	for s := range r.dur {
+		into[s] += r.DurationTo(s, t).Seconds() / total
+	}
+	if _, tracked := r.dur[r.state]; !tracked {
+		into[r.state] += r.DurationTo(r.state, t).Seconds() / total
+	}
+}
+
 // States reports all observed state names, sorted.
 func (r *Residency) States() []string {
 	set := make(map[string]bool, len(r.dur)+1)

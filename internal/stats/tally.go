@@ -24,7 +24,9 @@ type Tally struct {
 	max     float64
 	samples []float64
 	keep    bool
-	dirty   bool // samples appended since the last sort
+	dirty   bool   // samples appended since the last sort
+	resCap  int    // >0: bound retention to resCap samples (Algorithm R)
+	rngSt   uint64 // xorshift64 state for reservoir replacement draws
 }
 
 // NewTally returns an empty tally that retains samples for percentiles.
@@ -37,6 +39,59 @@ func NewTally(name string) *Tally {
 func NewMomentTally(name string) *Tally {
 	return &Tally{name: name, keep: false, min: math.Inf(1), max: math.Inf(-1)}
 }
+
+// NewReservoirTally returns a tally whose retained-sample buffer is bounded
+// at capacity via Vitter's Algorithm R, so memory stays O(capacity) no
+// matter how many samples arrive. Moments, min, and max remain exact;
+// Percentile and CDF become approximations computed over the reservoir
+// (a uniform random subset of the stream). Replacement draws come from an
+// internal deterministic xorshift64 generator seeded with seed, so the
+// tally consumes nothing from the simulation's rng streams and identical
+// (seed, sample sequence) pairs yield identical reservoirs.
+func NewReservoirTally(name string, capacity int, seed uint64) *Tally {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Tally{
+		name: name, keep: true, min: math.Inf(1), max: math.Inf(-1),
+		resCap: capacity,
+		rngSt:  splitmix64(seed),
+	}
+}
+
+// splitmix64 scrambles the user seed into a non-zero xorshift state;
+// xorshift64 has an absorbing state at zero.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	x ^= x >> 31
+	if x == 0 {
+		x = 0x9e3779b97f4a7c15
+	}
+	return x
+}
+
+// randN draws a uniform value in [0, n) from the tally's private stream.
+// Modulo bias at reservoir scales (n up to ~2^40, cap ~2^20) is far below
+// the sampling noise of the reservoir itself.
+func (t *Tally) randN(n int64) int64 {
+	x := t.rngSt
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	t.rngSt = x
+	return int64(x % uint64(n))
+}
+
+// Retained reports how many raw samples the tally currently holds
+// (0 for moment-only tallies; at most the reservoir capacity for
+// reservoir tallies).
+func (t *Tally) Retained() int { return len(t.samples) }
+
+// Bounded reports whether the tally's memory is bounded regardless of
+// sample count (moment-only or reservoir mode).
+func (t *Tally) Bounded() bool { return !t.keep || t.resCap > 0 }
 
 // Name reports the tally's label.
 func (t *Tally) Name() string { return t.name }
@@ -54,6 +109,17 @@ func (t *Tally) Add(x float64) {
 		t.max = x
 	}
 	if t.keep {
+		if t.resCap > 0 && len(t.samples) >= t.resCap {
+			// Algorithm R: sample x survives with probability cap/n, replacing
+			// a uniformly chosen reservoir slot. (The reservoir is a uniform
+			// subset under any permutation, so the lazy in-place sort that
+			// Percentile performs between Adds does not bias replacement.)
+			if j := t.randN(t.n); j < int64(t.resCap) {
+				t.samples[j] = x
+				t.dirty = true
+			}
+			return
+		}
 		t.samples = append(t.samples, x)
 		t.dirty = true
 	}
