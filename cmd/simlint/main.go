@@ -1,0 +1,162 @@
+// Command simlint runs the internal/analysis static-contract suite: the
+// determinism, hotpath, hookguard, handle and annotation passes that
+// enforce at compile time what the test suite can only sample at run
+// time (DESIGN.md Sec. 14).
+//
+// It runs two ways:
+//
+//	simlint [-json] [-C dir] [packages]     standalone, default ./...
+//	go vet -vettool=$(which simlint) ./...  as a vet tool
+//
+// Standalone mode loads packages via `go list -export` and prints one
+// finding per line (or a JSON array with -json). Vet-tool mode speaks
+// the cmd/go unitchecker protocol: -V=full for the build cache, -flags
+// for flag discovery, and a *.cfg compilation-unit config per package.
+//
+// Exit status: 0 clean, 1 usage or load failure, 2 findings.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"holdcsim/internal/analysis"
+)
+
+const version = "v1.0.0"
+
+func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
+
+// run dispatches one CLI invocation; factored from main so tests drive
+// the binary in-process.
+func run(args []string, stdout, stderr io.Writer) int {
+	// cmd/go protocol entry points come before normal flag parsing: it
+	// probes `-V=full` to stamp the build cache and `-flags` to discover
+	// tool flags, then invokes `simlint <vetflags> <objdir>/vet.cfg`.
+	for _, a := range args {
+		if a == "-V=full" || a == "--V=full" {
+			fmt.Fprintf(stdout, "simlint version %s\n", version)
+			return 0
+		}
+		if a == "-flags" || a == "--flags" {
+			fmt.Fprintln(stdout, "[]")
+			return 0
+		}
+	}
+	if n := len(args); n > 0 && strings.HasSuffix(args[n-1], ".cfg") {
+		return runVet(args[n-1], stderr)
+	}
+
+	fs := flag.NewFlagSet("simlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON array")
+	dir := fs.String("C", ".", "change to `dir` before loading packages")
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, "usage: simlint [-json] [-C dir] [packages]")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 1
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	pkgs, err := analysis.Load(*dir, patterns)
+	if err != nil {
+		fmt.Fprintf(stderr, "simlint: %v\n", err)
+		return 1
+	}
+	var diags []analysis.Diagnostic
+	for _, pkg := range pkgs {
+		diags = append(diags, analysis.RunSuite(pkg)...)
+	}
+	if *jsonOut {
+		if err := writeJSON(stdout, diags); err != nil {
+			fmt.Fprintf(stderr, "simlint: %v\n", err)
+			return 1
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(stdout, d)
+		}
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}
+
+// jsonDiagnostic is the -json wire shape: stable field names decoupled
+// from the internal Diagnostic struct.
+type jsonDiagnostic struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+func writeJSON(w io.Writer, diags []analysis.Diagnostic) error {
+	out := make([]jsonDiagnostic, len(diags))
+	for i, d := range diags {
+		out[i] = jsonDiagnostic{
+			File:     d.Pos.Filename,
+			Line:     d.Pos.Line,
+			Column:   d.Pos.Column,
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// runVet handles one `go vet -vettool` compilation unit.
+func runVet(cfgPath string, stderr io.Writer) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintf(stderr, "simlint: %v\n", err)
+		return 1
+	}
+	var cfg analysis.VetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(stderr, "simlint: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+	// cmd/go requires the vetx facts file to exist even when empty; the
+	// suite keeps no cross-package facts, so it is always empty.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			fmt.Fprintf(stderr, "simlint: %v\n", err)
+			return 1
+		}
+	}
+	// Dependency-only invocations and third-party packages need no
+	// analysis: every simlint contract is scoped to this module.
+	if cfg.VetxOnly || !analysis.FirstParty(cfg.ImportPath) {
+		return 0
+	}
+	pkg, err := analysis.LoadVetPackage(&cfg)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(stderr, "simlint: %v\n", err)
+		return 1
+	}
+	diags := analysis.RunSuite(pkg)
+	for _, d := range diags {
+		fmt.Fprintf(stderr, "%s: %s\n", d.Pos, d.Message)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}

@@ -1,0 +1,503 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// DeterminismAnalyzer enforces the byte-identical-replay contract
+// (DESIGN.md Sec. 3) in the model packages: between Build and Collect,
+// the only admissible inputs are the seed and the scenario. It flags
+//
+//   - wall-clock reads: time.Now, time.Since, time.Until;
+//   - the global math/rand and math/rand/v2 streams (top-level package
+//     functions — explicit *rand.Rand/rng.Source constructors are fine);
+//   - environment-derived behavior: os.Getenv, os.LookupEnv, os.Environ;
+//   - `range` over a map whose body has observable, order-dependent
+//     effects. Bodies made of provably order-insensitive statements —
+//     commutative accumulation (x += e, x++, x |= e, …), writes to
+//     another map keyed by the loop key, delete by loop key, max/min
+//     updates — pass. The collect-keys-then-sort idiom passes when the
+//     collected slice is demonstrably sorted later in the same function.
+//
+// Intentional sites (wall-clock phase timing in reports, CLI banners)
+// carry //simlint:allow determinism <reason>.
+var DeterminismAnalyzer = &Analyzer{
+	Name: "determinism",
+	Doc: "bans wall clocks, global randomness, environment reads, and " +
+		"order-dependent map iteration in deterministic model packages",
+	Run: runDeterminism,
+}
+
+// bannedFuncs maps package path → function name → short finding text.
+var bannedFuncs = map[string]map[string]string{
+	"time": {
+		"Now":   "wall-clock read",
+		"Since": "wall-clock read",
+		"Until": "wall-clock read",
+	},
+	"os": {
+		"Getenv":    "environment-derived behavior",
+		"LookupEnv": "environment-derived behavior",
+		"Environ":   "environment-derived behavior",
+	},
+}
+
+// randConstructors are the math/rand top-level functions that construct
+// explicit generators rather than touching the global stream.
+var randConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+func runDeterminism(p *Pass) {
+	if !isModelPackage(p.Pkg.Path()) {
+		return
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkBannedCall(p, n)
+			case *ast.RangeStmt:
+				checkMapRange(p, f, n)
+			}
+			return true
+		})
+	}
+}
+
+// calleeFunc resolves a call to the package-level function it invokes,
+// or nil for methods, locals, builtins and conversions.
+func calleeFunc(p *Pass, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	case *ast.Ident:
+		id = fun
+	default:
+		return nil
+	}
+	fn, ok := p.TypesInfo.Uses[id].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return nil
+	}
+	if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+		return nil
+	}
+	return fn
+}
+
+func checkBannedCall(p *Pass, call *ast.CallExpr) {
+	fn := calleeFunc(p, call)
+	if fn == nil {
+		return
+	}
+	pkgPath, name := fn.Pkg().Path(), fn.Name()
+	if what, ok := bannedFuncs[pkgPath][name]; ok {
+		p.Reportf(call.Pos(), "%s.%s in model package: %s breaks byte-identical replay", pkgPath, name, what)
+		return
+	}
+	if (pkgPath == "math/rand" || pkgPath == "math/rand/v2") && !randConstructors[name] {
+		p.Reportf(call.Pos(), "global %s.%s in model package: draw from the run's seeded rng.Source instead", pkgPath, name)
+	}
+}
+
+// checkMapRange flags order-dependent map iteration.
+func checkMapRange(p *Pass, file *ast.File, rs *ast.RangeStmt) {
+	if _, ok := p.TypesInfo.TypeOf(rs.X).Underlying().(*types.Map); !ok {
+		return
+	}
+	locals := map[types.Object]bool{}
+	for _, e := range []ast.Expr{rs.Key, rs.Value} {
+		if id, ok := e.(*ast.Ident); ok && id != nil {
+			if obj := p.TypesInfo.Defs[id]; obj != nil {
+				locals[obj] = true
+			}
+		}
+	}
+	var keyObj types.Object
+	if id, ok := rs.Key.(*ast.Ident); ok {
+		keyObj = p.TypesInfo.Defs[id]
+	}
+	ins := &insensitivity{pass: p, locals: locals, keyObj: keyObj}
+	if ins.blockOK(rs.Body, nil) {
+		return
+	}
+	if collectForSort(p, file, rs) {
+		return
+	}
+	p.Reportf(rs.Pos(),
+		"map iteration with order-dependent effects (%s): iterate sorted keys, make the body commutative, or annotate //simlint:allow determinism <reason>",
+		ins.why)
+}
+
+// insensitivity decides whether a loop body's effects commute across
+// iteration orders.
+type insensitivity struct {
+	pass   *Pass
+	locals map[types.Object]bool // objects scoped to one iteration
+	keyObj types.Object          // the range key variable, if named
+	why    string                // first order-dependent construct found
+}
+
+func (c *insensitivity) fail(n ast.Node, why string) bool {
+	if c.why == "" {
+		c.why = why
+	}
+	_ = n
+	return false
+}
+
+func (c *insensitivity) blockOK(b *ast.BlockStmt, guard ast.Expr) bool {
+	for _, s := range b.List {
+		if !c.stmtOK(s, guard) {
+			return false
+		}
+	}
+	return true
+}
+
+// stmtOK reports whether one statement is order-insensitive. guard is
+// the innermost enclosing if condition, consulted for the max/min
+// update idiom.
+func (c *insensitivity) stmtOK(s ast.Stmt, guard ast.Expr) bool {
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		return c.assignOK(s, guard)
+	case *ast.IncDecStmt:
+		return true // x++ / x-- commute
+	case *ast.ExprStmt:
+		// delete(m, k) by the loop key commutes; nothing else may call.
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if b, ok := c.pass.TypesInfo.Uses[calleeIdent(call)].(*types.Builtin); ok && b.Name() == "delete" {
+				if len(call.Args) == 2 && c.isKey(call.Args[1]) {
+					return true
+				}
+				return c.fail(s, "delete not keyed by the loop variable")
+			}
+		}
+		return c.fail(s, "expression statement with effects")
+	case *ast.IfStmt:
+		if s.Init != nil && !c.stmtOK(s.Init, guard) {
+			return false
+		}
+		if !c.pure(s.Cond) {
+			return c.fail(s, "impure if condition")
+		}
+		if !c.blockOK(s.Body, s.Cond) {
+			return false
+		}
+		switch e := s.Else.(type) {
+		case nil:
+			return true
+		case *ast.BlockStmt:
+			return c.blockOK(e, nil)
+		case *ast.IfStmt:
+			return c.stmtOK(e, guard)
+		}
+		return c.fail(s, "unsupported else form")
+	case *ast.BlockStmt:
+		return c.blockOK(s, guard)
+	case *ast.DeclStmt:
+		gd, ok := s.Decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.VAR {
+			return c.fail(s, "non-var declaration")
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				return c.fail(s, "non-value var spec")
+			}
+			for _, v := range vs.Values {
+				if !c.pure(v) {
+					return c.fail(s, "impure var initializer")
+				}
+			}
+			for _, name := range vs.Names {
+				if obj := c.pass.TypesInfo.Defs[name]; obj != nil {
+					c.locals[obj] = true
+				}
+			}
+		}
+		return true
+	case *ast.BranchStmt:
+		// A bare continue commutes; break/goto make the set of executed
+		// iterations order-dependent.
+		if s.Tok == token.CONTINUE && s.Label == nil {
+			return true
+		}
+		return c.fail(s, s.Tok.String()+" exits the loop order-dependently")
+	case *ast.RangeStmt:
+		// A nested range over a map is checked on its own; for the outer
+		// loop's insensitivity only the nested body's effects matter.
+		if s.X != nil && !c.pure(s.X) {
+			return c.fail(s, "impure nested range expression")
+		}
+		c.addDef(s.Key)
+		c.addDef(s.Value)
+		return c.blockOK(s.Body, nil)
+	case *ast.ForStmt:
+		if s.Init != nil && !c.stmtOK(s.Init, nil) {
+			return false
+		}
+		if s.Cond != nil && !c.pure(s.Cond) {
+			return c.fail(s, "impure nested for condition")
+		}
+		if s.Post != nil && !c.stmtOK(s.Post, nil) {
+			return false
+		}
+		return c.blockOK(s.Body, nil)
+	case *ast.SwitchStmt:
+		if s.Init != nil && !c.stmtOK(s.Init, nil) {
+			return false
+		}
+		if s.Tag != nil && !c.pure(s.Tag) {
+			return c.fail(s, "impure switch tag")
+		}
+		for _, cc := range s.Body.List {
+			clause := cc.(*ast.CaseClause)
+			for _, e := range clause.List {
+				if !c.pure(e) {
+					return c.fail(s, "impure case expression")
+				}
+			}
+			for _, st := range clause.Body {
+				if !c.stmtOK(st, nil) {
+					return false
+				}
+			}
+		}
+		return true
+	case *ast.EmptyStmt:
+		return true
+	}
+	return c.fail(s, "order-dependent statement")
+}
+
+func (c *insensitivity) addDef(e ast.Expr) {
+	if id, ok := e.(*ast.Ident); ok && id != nil {
+		if obj := c.pass.TypesInfo.Defs[id]; obj != nil {
+			c.locals[obj] = true
+		}
+	}
+}
+
+func (c *insensitivity) assignOK(s *ast.AssignStmt, guard ast.Expr) bool {
+	for _, rhs := range s.Rhs {
+		if !c.pure(rhs) {
+			return c.fail(s, "impure assignment right-hand side")
+		}
+	}
+	switch s.Tok {
+	case token.DEFINE:
+		for _, lhs := range s.Lhs {
+			c.addDef(lhs)
+		}
+		return true
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN,
+		token.OR_ASSIGN, token.AND_ASSIGN, token.XOR_ASSIGN:
+		// Commutative accumulation: final value independent of order.
+		return true
+	case token.ASSIGN:
+		if len(s.Lhs) != len(s.Rhs) {
+			return c.fail(s, "tuple assignment")
+		}
+		for i, lhs := range s.Lhs {
+			if c.rootedInLocal(lhs) {
+				continue // per-iteration state
+			}
+			if ix, ok := lhs.(*ast.IndexExpr); ok {
+				// m2[k] = v: per-key slots commute across orders.
+				if _, isMap := c.pass.TypesInfo.TypeOf(ix.X).Underlying().(*types.Map); isMap && c.isKey(ix.Index) {
+					continue
+				}
+				return c.fail(s, "indexed write not keyed by the loop variable")
+			}
+			// Max/min update: `if v > best { best = v }` commutes.
+			if guard != nil && isExtremumUpdate(guard, lhs, s.Rhs[i]) {
+				continue
+			}
+			return c.fail(s, "plain assignment to shared state")
+		}
+		return true
+	}
+	return c.fail(s, "unsupported assignment operator")
+}
+
+// rootedInLocal reports whether an lvalue is (a component of) a
+// per-iteration local: the blank identifier, a loop-scoped variable, or
+// a selector/index/deref chain rooted at one.
+func (c *insensitivity) rootedInLocal(e ast.Expr) bool {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			if x.Name == "_" {
+				return true
+			}
+			obj := c.pass.TypesInfo.Uses[x]
+			if obj == nil {
+				obj = c.pass.TypesInfo.Defs[x]
+			}
+			return c.locals[obj]
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return false
+		}
+	}
+}
+
+// isKey reports whether e is exactly the loop's key variable. Exact
+// identity is required — a derived expression like m2[k+1] or
+// delete(m2, f(k)) is not injective in general, so a per-key-slot
+// argument cannot be made for it.
+func (c *insensitivity) isKey(e ast.Expr) bool {
+	if c.keyObj == nil {
+		return false
+	}
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && c.pass.TypesInfo.Uses[id] == c.keyObj
+}
+
+// pure reports whether evaluating e has no side effects: no calls (bar
+// len/cap/min/max and type conversions), no channel receives.
+func (c *insensitivity) pure(e ast.Expr) bool {
+	if e == nil {
+		return true
+	}
+	pure := true
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if c.pass.TypesInfo.Types[n.Fun].IsType() {
+				return true // conversion
+			}
+			if b, ok := c.pass.TypesInfo.Uses[calleeIdent(n)].(*types.Builtin); ok {
+				switch b.Name() {
+				case "len", "cap", "min", "max", "real", "imag", "complex":
+					return true
+				}
+			}
+			pure = false
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				pure = false
+				return false
+			}
+		case *ast.FuncLit:
+			return false // a literal is inert until called
+		}
+		return pure
+	})
+	return pure
+}
+
+// calleeIdent extracts the identifier a call invokes, if it is a plain
+// identifier (builtins always are).
+func calleeIdent(call *ast.CallExpr) *ast.Ident {
+	id, _ := ast.Unparen(call.Fun).(*ast.Ident)
+	return id
+}
+
+// isExtremumUpdate recognizes `if y OP x { x = y }` for a comparison OP,
+// the commutative max/min-update idiom, by textual operand match.
+func isExtremumUpdate(cond, lhs, rhs ast.Expr) bool {
+	b, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok {
+		return false
+	}
+	switch b.Op {
+	case token.LSS, token.GTR, token.LEQ, token.GEQ:
+	default:
+		return false
+	}
+	lt, rt := types.ExprString(lhs), types.ExprString(rhs)
+	cx, cy := types.ExprString(b.X), types.ExprString(b.Y)
+	return (cx == lt && cy == rt) || (cx == rt && cy == lt)
+}
+
+// collectForSort recognizes the canonical deterministic-iteration idiom:
+//
+//	keys := make([]K, 0, len(m))
+//	for k := range m { keys = append(keys, k) }
+//	sort.Slice(keys, …)   // or slices.Sort*(keys)
+//
+// The append-only loop is order-sensitive in isolation; it is admitted
+// when every appended-to slice is passed to a sort.* / slices.* call
+// later in the same function.
+func collectForSort(p *Pass, file *ast.File, rs *ast.RangeStmt) bool {
+	var slices []string
+	for _, s := range rs.Body.List {
+		as, ok := s.(*ast.AssignStmt)
+		if !ok || as.Tok != token.ASSIGN || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return false
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		if b, ok := p.TypesInfo.Uses[calleeIdent(call)].(*types.Builtin); !ok || b.Name() != "append" {
+			return false
+		}
+		lhs, ok := as.Lhs[0].(*ast.Ident)
+		if !ok || len(call.Args) < 1 || types.ExprString(call.Args[0]) != lhs.Name {
+			return false
+		}
+		slices = append(slices, lhs.Name)
+	}
+	if len(slices) == 0 {
+		return false
+	}
+	// Find a later sort call covering every collected slice.
+	sorted := map[string]bool{}
+	ast.Inspect(file, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() <= rs.End() {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := p.TypesInfo.Uses[sel.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			return true
+		}
+		if pkg := fn.Pkg().Path(); pkg != "sort" && pkg != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			for _, name := range slices {
+				if exprMentions(arg, name) {
+					sorted[name] = true
+				}
+			}
+		}
+		return true
+	})
+	for _, name := range slices {
+		if !sorted[name] {
+			return false
+		}
+	}
+	return true
+}
+
+func exprMentions(e ast.Expr, name string) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && id.Name == name {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,147 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// HandleAnalyzer enforces the pooled-handle discipline. engine.Handle is
+// a generation-counted reference into the event pool: the pointed-at
+// event is recycled after it fires or is canceled, and only the
+// generation check (Handle.Pending) makes a stale handle detectable.
+// Storing a handle anywhere that outlives the event callback is safe
+// only through the sanctioned idiom:
+//
+//	c.finishEv = c.srv.eng.After(dur, c.finishCB) // fresh from the engine
+//	c.finishEv = engine.Handle{}                  // explicit invalidation
+//
+// The pass flags every store of an engine.Handle value into a struct
+// field whose right-hand side is neither a direct Schedule/After call on
+// the engine nor the zero Handle, and every store into a slice or map
+// element or append — collections of handles have no single
+// re-validation point, so they are banned outright (annotate with a
+// reason if a future subsystem genuinely needs one). The engine package
+// itself, which implements the pool, is exempt.
+var HandleAnalyzer = &Analyzer{
+	Name: "handle",
+	Doc: "generation-counted engine.Handle values must be stored only " +
+		"fresh from Schedule/After or as the zero Handle, never in collections",
+	Run: runHandle,
+}
+
+func runHandle(p *Pass) {
+	path := packageSuffix(p.Pkg.Path())
+	if !isFirstParty(p.Pkg.Path()) || path == "internal/engine" {
+		return
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				checkHandleAssign(p, n)
+			case *ast.CallExpr:
+				checkHandleAppend(p, n)
+			}
+			return true
+		})
+	}
+}
+
+// isEngineHandle reports whether t is the engine.Handle type (matched by
+// name and path suffix so fixture stubs of internal/engine count too).
+func isEngineHandle(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Handle" && obj.Pkg() != nil &&
+		strings.HasSuffix(obj.Pkg().Path(), "internal/engine")
+}
+
+func checkHandleAssign(p *Pass, as *ast.AssignStmt) {
+	if len(as.Lhs) != len(as.Rhs) {
+		return
+	}
+	for i, lhs := range as.Lhs {
+		t := p.TypesInfo.TypeOf(lhs)
+		if t == nil || !isEngineHandle(t) {
+			continue
+		}
+		switch target := ast.Unparen(lhs).(type) {
+		case *ast.SelectorExpr:
+			// Field store: fine if the field is on a loop/callback-local
+			// value? No — fields outlive by assumption. Sanctioned RHS only.
+			if obj, ok := p.TypesInfo.Uses[target.Sel].(*types.Var); !ok || !obj.IsField() {
+				continue // selector over a local struct var package-level? still a var; be strict only on fields
+			}
+			if sanctionedHandleRHS(p, as.Rhs[i]) {
+				continue
+			}
+			p.Reportf(as.Pos(),
+				"engine.Handle stored into field %s from %s: handles go stale when the event pool recycles — store only a fresh Schedule/After result or the zero Handle",
+				target.Sel.Name, types.ExprString(as.Rhs[i]))
+		case *ast.IndexExpr:
+			p.Reportf(as.Pos(),
+				"engine.Handle stored into a collection element: collections of pooled handles have no re-validation point — keep the handle in a field with the sanctioned idiom")
+		}
+	}
+}
+
+// sanctionedHandleRHS recognizes the two legal sources for a stored
+// handle: the zero Handle literal, or a direct Schedule/After/NewTimer-
+// style call on the engine (any method of *engine.Engine returning a
+// Handle).
+func sanctionedHandleRHS(p *Pass, rhs ast.Expr) bool {
+	switch rhs := ast.Unparen(rhs).(type) {
+	case *ast.CompositeLit:
+		return len(rhs.Elts) == 0 // engine.Handle{} — explicit invalidation
+	case *ast.CallExpr:
+		sel, ok := ast.Unparen(rhs.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return false
+		}
+		fn, ok := p.TypesInfo.Uses[sel.Sel].(*types.Func)
+		if !ok {
+			return false
+		}
+		sig, ok := fn.Type().(*types.Signature)
+		if !ok || sig.Recv() == nil {
+			return false
+		}
+		recv := sig.Recv().Type()
+		if ptr, ok := recv.(*types.Pointer); ok {
+			recv = ptr.Elem()
+		}
+		named, ok := recv.(*types.Named)
+		if !ok {
+			return false
+		}
+		obj := named.Obj()
+		return obj.Name() == "Engine" && obj.Pkg() != nil &&
+			strings.HasSuffix(obj.Pkg().Path(), "internal/engine")
+	}
+	return false
+}
+
+func checkHandleAppend(p *Pass, call *ast.CallExpr) {
+	b, ok := p.TypesInfo.Uses[calleeIdent(call)].(*types.Builtin)
+	if !ok || b.Name() != "append" || len(call.Args) < 2 {
+		return
+	}
+	for _, arg := range call.Args[1:] {
+		t := p.TypesInfo.TypeOf(arg)
+		if t == nil {
+			continue
+		}
+		if sl, ok := t.(*types.Slice); ok && call.Ellipsis.IsValid() {
+			t = sl.Elem()
+		}
+		if isEngineHandle(t) {
+			p.Reportf(call.Pos(),
+				"engine.Handle appended to a slice: collections of pooled handles have no re-validation point — keep handles in dedicated fields with the sanctioned idiom")
+			return
+		}
+	}
+}

@@ -1,0 +1,58 @@
+package analysis
+
+import "testing"
+
+func TestIsModelPackage(t *testing.T) {
+	cases := []struct {
+		path string
+		want bool
+	}{
+		{"holdcsim/internal/engine", true},
+		{"holdcsim/internal/engine [holdcsim/internal/engine.test]", true},
+		{"holdcsim/internal/scenario", true},
+		{"holdcsim/internal/scenario/sub", true}, // scoped by top-level name
+		{"holdcsim/internal/analysis", false},    // the suite itself is not a model
+		{"holdcsim/cmd/benchrunner", true},       // every cmd/ is in scope
+		{"holdcsim/cmd/simlint", true},
+		{"holdcsim", false},
+		{"holdcsim/examples/basic", false},
+		{"fmt", false},
+		{"golang.org/x/tools/go/ast", false},
+	}
+	for _, c := range cases {
+		if got := isModelPackage(c.path); got != c.want {
+			t.Errorf("isModelPackage(%q) = %v, want %v", c.path, got, c.want)
+		}
+	}
+}
+
+func TestCanonicalPath(t *testing.T) {
+	cases := [][2]string{
+		{"p", "p"},
+		{"p [p.test]", "p"},
+		{"holdcsim/internal/engine [holdcsim/internal/engine.test]", "holdcsim/internal/engine"},
+	}
+	for _, c := range cases {
+		if got := canonicalPath(c[0]); got != c[1] {
+			t.Errorf("canonicalPath(%q) = %q, want %q", c[0], got, c[1])
+		}
+	}
+}
+
+func TestPackageSuffix(t *testing.T) {
+	if got := packageSuffix("holdcsim/internal/modelcov"); got != "internal/modelcov" {
+		t.Errorf("packageSuffix = %q", got)
+	}
+}
+
+func TestPassNamesMatchSuite(t *testing.T) {
+	names := passNames()
+	for _, a := range Suite() {
+		if !names[a.Name] {
+			t.Errorf("passNames missing %q", a.Name)
+		}
+	}
+	if names["wallclock"] {
+		t.Error("passNames contains an analyzer that does not exist")
+	}
+}

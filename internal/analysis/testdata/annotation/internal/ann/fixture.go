@@ -1,0 +1,30 @@
+// Package ann exercises the annotation vocabulary's hard errors: the
+// parser reports malformed directives unsuppressably, at the directive's
+// own position (hence want-prev: a trailing want comment would parse as
+// part of the directive).
+package ann
+
+//simlint:allow nosuchpass because I said so
+// want-prev "needs a known pass name"
+var a = 1
+
+//simlint:allow determinism
+// want-prev "needs a reason"
+var b = 2
+
+//simlint:frobnicate
+// want-prev "unknown simlint directive"
+var c = 3
+
+//simlint:hotpath
+// want-prev "must be attached to a function declaration"
+var d = 4
+
+//simlint:allow determinism this suppression matches no finding and is itself an error
+// want-prev "suppresses no finding"
+var e = 5
+
+//simlint:hotpath
+func attached() {} // correctly attached: no finding
+
+func trailingArgs() {} //simlint:hotpath with arguments // want "takes no arguments"

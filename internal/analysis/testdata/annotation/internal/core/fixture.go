@@ -1,0 +1,13 @@
+// Package core (a model package) exercises the wrong-line edge case: an
+// allow annotation separated from its finding by an intervening line
+// suppresses nothing — the finding still fires, and the stale
+// annotation is itself reported.
+package core
+
+import "time"
+
+//simlint:allow determinism annotation stranded one line too high
+// want-prev "suppresses no finding"
+var gap = 0
+
+var when = time.Now() // want "time.Now in model package"

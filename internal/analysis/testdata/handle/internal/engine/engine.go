@@ -1,0 +1,32 @@
+// Package engine is a stub of the real event engine for the handle
+// fixture: the pass matches the Handle and Engine types by name and
+// import-path suffix, and exempts this package itself (it implements
+// the pool, so it manipulates raw handles by construction).
+package engine
+
+type Time int64
+
+type event struct{ gen uint32 }
+
+type Handle struct {
+	ev  *event
+	gen uint32
+}
+
+func (h Handle) Pending() bool { return h.ev != nil && h.ev.gen == h.gen }
+
+type Engine struct {
+	scratch Handle
+	free    []Handle
+}
+
+func (e *Engine) Schedule(at Time, fn func()) Handle {
+	h := Handle{ev: &event{}, gen: 1}
+	e.scratch = h          // in-engine store: exempt
+	e.free = append(e.free, h) // in-engine collection: exempt
+	return h
+}
+
+func (e *Engine) After(d Time, fn func()) Handle {
+	return e.Schedule(d, fn)
+}

@@ -1,0 +1,32 @@
+// Package user is a handle fixture: generation-counted engine.Handle
+// values stored into state that outlives the event callback must come
+// straight from Schedule/After or be the zero Handle.
+package user
+
+import "holdcsim/internal/engine"
+
+type core struct {
+	eng      *engine.Engine
+	finishEv engine.Handle
+	cb       func()
+}
+
+func (c *core) sanctioned(d engine.Time) {
+	c.finishEv = c.eng.After(d, c.cb) // fresh from the engine: sanctioned
+	c.finishEv = engine.Handle{}      // explicit invalidation: sanctioned
+}
+
+func (c *core) laundered(h engine.Handle) {
+	c.finishEv = h // want "engine.Handle stored into field finishEv"
+	local := h     // locals live within the callback: fine
+	_ = local
+	c.finishEv = h //simlint:allow handle fixture demonstrates an allowed relayed store
+}
+
+var table [8]engine.Handle
+var list []engine.Handle
+
+func collections(h engine.Handle) {
+	table[0] = h              // want "engine.Handle stored into a collection element"
+	list = append(list, h)    // want "engine.Handle appended to a slice"
+}

@@ -1,0 +1,50 @@
+// Package modelcov is a hookguard rule B fixture: the real modelcov.Map
+// promises nil-receiver tolerance (a disabled coverage hook is a nil
+// *Map), so exported pointer-receiver methods that dereference the
+// receiver must open with a nil guard.
+package modelcov
+
+type Map struct {
+	counts [4]uint64
+}
+
+func (m *Map) Hit(i int) {
+	if m == nil {
+		return
+	}
+	m.counts[i]++
+}
+
+func (m *Map) Count(i int) uint64 { // want "uses its receiver without a leading nil guard"
+	return m.counts[i]
+}
+
+// Covered delegates every receiver use to nil-guarded methods: safe.
+func (m *Map) Covered() uint64 {
+	return m.Count(0) + m.Count(1)
+}
+
+// Reset is nil-safe via its own leading guard.
+func (m *Map) Reset() {
+	if m == nil {
+		return
+	}
+	m.counts = [4]uint64{}
+}
+
+//simlint:allow hookguard fixture demonstrates an allowed unguarded receiver
+func (m *Map) Total(i int) uint64 {
+	return m.counts[i] + 1
+}
+
+// Bucket's guard nil-tests the receiver as one disjunct of a wider
+// condition: still a leading guard.
+func (m *Map) Bucket(i int) uint64 {
+	if m == nil || i < 0 || i >= len(m.counts) {
+		return 0
+	}
+	return m.counts[i]
+}
+
+// lowercase methods are internal: callers inside the package guard.
+func (m *Map) raw() [4]uint64 { return m.counts }

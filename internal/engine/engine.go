@@ -156,6 +156,7 @@ func (e *Engine) Len() int { return e.live }
 
 // alloc takes an event from the pool, growing it block-wise so steady
 // state never allocates.
+//simlint:hotpath
 func (e *Engine) alloc() *event {
 	if n := len(e.free); n > 0 {
 		ev := e.free[n-1]
@@ -172,15 +173,17 @@ func (e *Engine) alloc() *event {
 
 // release recycles an event into the pool. Bumping the generation makes
 // every outstanding Handle to it inert.
+//simlint:hotpath
 func (e *Engine) release(ev *event) {
 	ev.fn = nil
 	ev.state = stateFree
 	ev.gen++
-	e.free = append(e.free, ev)
+	e.free = append(e.free, ev) //simlint:allow hotpath free-list push: amortized O(1), capacity reaches steady state
 }
 
 // Schedule queues fn to run at absolute virtual time at.
 // Scheduling in the past panics: it always indicates a model bug.
+//simlint:hotpath
 func (e *Engine) Schedule(at simtime.Time, fn func()) Handle {
 	if at < e.now {
 		panic(fmt.Sprintf("engine: schedule at %v before now %v", at, e.now))
@@ -201,6 +204,7 @@ func (e *Engine) Schedule(at simtime.Time, fn func()) Handle {
 
 // place routes an event to the tier covering its timestamp. Branches are
 // ordered hottest-first: near-term events dominate every workload.
+//simlint:hotpath
 func (e *Engine) place(ev *event) {
 	if ev.at < e.base {
 		e.bottomPush(ev)
@@ -209,18 +213,19 @@ func (e *Engine) place(ev *event) {
 	if ev.at < e.spillStart {
 		j := int((ev.at - e.base) / e.width)
 		slot := (e.cur + j) % numBuckets
-		e.buckets[slot] = append(e.buckets[slot], ev)
+		e.buckets[slot] = append(e.buckets[slot], ev) //simlint:allow hotpath bucket push: amortized O(1), capacity reaches steady state
 		e.nearCount++
 		return
 	}
 	if ev.at == simtime.Forever {
-		e.forever = append(e.forever, ev)
+		e.forever = append(e.forever, ev) //simlint:allow hotpath forever list push: amortized O(1), capacity reaches steady state
 		return
 	}
-	e.spill = append(e.spill, ev)
+	e.spill = append(e.spill, ev) //simlint:allow hotpath spill push: amortized O(1), capacity reaches steady state
 }
 
 // After queues fn to run d from now. Negative d panics.
+//simlint:hotpath
 func (e *Engine) After(d simtime.Time, fn func()) Handle {
 	return e.Schedule(e.now+d, fn)
 }
@@ -228,6 +233,7 @@ func (e *Engine) After(d simtime.Time, fn func()) Handle {
 // Cancel tombstones the event named by h if it has not fired. It is O(1);
 // the entry is reclaimed when popped or at the next compaction sweep.
 // Safe to call with the zero Handle or a stale one.
+//simlint:hotpath
 func (e *Engine) Cancel(h Handle) {
 	if !h.Pending() {
 		return
@@ -423,6 +429,7 @@ func (e *Engine) rebucket() {
 // Step executes the single earliest pending event, advancing the clock to
 // its timestamp. It reports false when the queue is empty or the engine
 // has been stopped.
+//simlint:hotpath
 func (e *Engine) Step() bool {
 	if e.stopped {
 		return false
@@ -507,8 +514,9 @@ func lessEv(a, b *event) bool {
 	return a.seq < b.seq
 }
 
+//simlint:hotpath
 func (e *Engine) bottomPush(ev *event) {
-	e.bottom = append(e.bottom, ev)
+	e.bottom = append(e.bottom, ev) //simlint:allow hotpath bottom-heap push: amortized O(1), capacity reaches steady state
 	h := e.bottom
 	i := len(h) - 1
 	for i > 0 {
@@ -521,6 +529,7 @@ func (e *Engine) bottomPush(ev *event) {
 	}
 }
 
+//simlint:hotpath
 func (e *Engine) bottomPop() *event {
 	h := e.bottom
 	n := len(h) - 1
@@ -532,6 +541,7 @@ func (e *Engine) bottomPop() *event {
 	return top
 }
 
+//simlint:hotpath
 func siftDown(h []*event, i int) {
 	n := len(h)
 	for {

@@ -25,7 +25,7 @@ func NewTimer(eng *Engine, fn func()) *Timer {
 	t := &Timer{eng: eng, fn: fn}
 	t.fire = func() {
 		t.h = Handle{}
-		t.fn()
+		t.fn() //simlint:allow hookguard fn is mandatory: NewTimer panics on nil
 	}
 	return t
 }

@@ -116,7 +116,7 @@ func tableIScale(p TableIParams, seed uint64) (*TableIResult, error) {
 		Factory: workload.SingleTask{Service: workload.WebSearchService()},
 		MaxJobs: p.ScaleJobs,
 	}
-	start := time.Now()
+	start := time.Now() //simlint:allow determinism wall-clock timing of the Table I row, not model state
 	dc, err := core.Build(cfg)
 	if err != nil {
 		return nil, err
@@ -125,7 +125,7 @@ func tableIScale(p TableIParams, seed uint64) (*TableIResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	wall := time.Since(start).Seconds()
+	wall := time.Since(start).Seconds() //simlint:allow determinism wall-clock timing of the Table I row, not model state
 	out := &TableIResult{
 		Servers:       p.ScaleServers,
 		JobsCompleted: res.JobsCompleted,

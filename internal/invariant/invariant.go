@@ -18,6 +18,7 @@ package invariant
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"holdcsim/internal/engine"
 	"holdcsim/internal/job"
@@ -523,8 +524,18 @@ func (c *Checker) checkServerEnergy(srv *server.Server, end simtime.Time) {
 	downFrac := 0.0
 	fr := srv.Residency().FractionsTo(end)
 	if len(fr) > 0 {
+		// Iterate states sorted, not in map order: the violation list and
+		// the float accumulation into sum must replay byte-identically
+		// (simlint:determinism caught this as the report order depending
+		// on map iteration when more than one fraction is negative).
+		states := make([]string, 0, len(fr))
+		for s := range fr {
+			states = append(states, s)
+		}
+		sort.Strings(states)
 		sum := 0.0
-		for _, f := range fr {
+		for _, s := range states {
+			f := fr[s]
 			if f < -RelTol {
 				c.report("energy-closure", "server %d negative residency fraction %g", srv.ID(), f)
 			}

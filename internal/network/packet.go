@@ -63,6 +63,7 @@ type pktTransfer struct {
 
 // allocPacket pops a pooled packet (or mints one with its dispatch
 // closures) ready for reuse.
+//simlint:hotpath
 func (n *Network) allocPacket() *packet {
 	if k := len(n.pktFree); k > 0 {
 		p := n.pktFree[k-1]
@@ -77,15 +78,17 @@ func (n *Network) allocPacket() *packet {
 
 // releasePacket clears the packet's references and returns it to the
 // pool. The dispatch closures are kept — they are the point of pooling.
+//simlint:hotpath
 func (n *Network) releasePacket(p *packet) {
 	p.bytes, p.hop = 0, 0
 	p.nodes, p.links = nil, nil
 	p.xfer, p.xferGen = nil, 0
-	n.pktFree = append(n.pktFree, p)
+	n.pktFree = append(n.pktFree, p) //simlint:allow hotpath free-list push: amortized O(1), capacity reaches steady state
 }
 
 // allocTransfer pops a pooled transfer (or mints one with its cached
 // start closure). Counters are zeroed at release.
+//simlint:hotpath
 func (n *Network) allocTransfer() *pktTransfer {
 	if k := len(n.xferFree); k > 0 {
 		x := n.xferFree[k-1]
@@ -100,13 +103,14 @@ func (n *Network) allocTransfer() *pktTransfer {
 // releaseTransfer bumps the generation (invalidating any packet that
 // still references this incarnation), clears references, and pools the
 // transfer.
+//simlint:hotpath
 func (n *Network) releaseTransfer(x *pktTransfer) {
 	x.gen++
 	x.total, x.delivered, x.dropped = 0, 0, 0
 	x.bytes, x.src, x.loop = 0, 0, false
 	x.nodes, x.links = nil, nil
 	x.done = nil
-	n.xferFree = append(n.xferFree, x)
+	n.xferFree = append(n.xferFree, x) //simlint:allow hotpath free-list push: amortized O(1), capacity reaches steady state
 }
 
 // finishOne accounts packet p reaching its terminal state — delivered or
@@ -115,6 +119,7 @@ func (n *Network) releaseTransfer(x *pktTransfer) {
 // packets are not retransmitted (drops are a congestion signal counted in
 // Stats); completion fires regardless so DAG progress cannot deadlock on
 // a full buffer.
+//simlint:hotpath
 func (x *pktTransfer) finishOne(n *Network, p *packet, delivered bool) {
 	if p.xferGen != x.gen {
 		panic("network: packet finished against a recycled transfer")
@@ -137,6 +142,7 @@ func (x *pktTransfer) finishOne(n *Network, p *packet, delivered bool) {
 // and the transfer returns to the pool *before* the owner's callback
 // runs, so a callback that starts new transfers observes consistent
 // conservation state and may even reuse this very object.
+//simlint:hotpath
 func (n *Network) finishTransfer(x *pktTransfer) {
 	n.openPktTransfers--
 	done := x.done
@@ -202,6 +208,7 @@ func (n *Network) TransferPackets(src, dst topology.NodeID, bytes int64, done fu
 // (or completes a loopback transfer). Locals are copied out first: if
 // every packet finishes synchronously (the route is already down), the
 // last finishOne releases x back to the pool mid-loop.
+//simlint:hotpath
 func (n *Network) startPktTransfer(x *pktTransfer) {
 	if x.loop {
 		n.cover.Hit(modelcov.NetPktLoopback)
@@ -264,6 +271,7 @@ func newEgressQueue(l *linkState, ab bool) *egressQueue {
 func (q *egressQueue) busy() bool { return q.sending || q.count > 0 }
 
 // push appends a packet to the ring, doubling capacity when full.
+//simlint:hotpath
 func (q *egressQueue) push(p *packet) {
 	if q.count == len(q.buf) {
 		newCap := len(q.buf) * 2
@@ -282,6 +290,7 @@ func (q *egressQueue) push(p *packet) {
 
 // pop removes and returns the head packet; when the queue drains, any
 // burst-grown backing array is released.
+//simlint:hotpath
 func (q *egressQueue) pop() *packet {
 	p := q.buf[q.head]
 	q.buf[q.head] = nil
@@ -298,6 +307,7 @@ func (q *egressQueue) pop() *packet {
 
 // enqueue adds a packet, dropping it if the link is down or the buffer
 // would overflow.
+//simlint:hotpath
 func (q *egressQueue) enqueue(n *Network, p *packet) {
 	if q.link.isDown() {
 		q.drops++
@@ -318,6 +328,7 @@ func (q *egressQueue) enqueue(n *Network, p *packet) {
 }
 
 // maybeSend starts serializing the head packet if the line is free.
+//simlint:hotpath
 func (q *egressQueue) maybeSend(n *Network) {
 	if q.sending || q.count == 0 {
 		return
@@ -352,6 +363,7 @@ func (q *egressQueue) maybeSend(n *Network) {
 // serialized fires when the head packet's last bit is on the wire: the
 // line frees up for the next queued packet while the current one
 // propagates to the far end.
+//simlint:hotpath
 func (q *egressQueue) serialized(n *Network) {
 	p := q.cur
 	q.cur = nil
@@ -387,12 +399,14 @@ func (q *egressQueue) dropAll(n *Network) {
 
 // packetForward queues the packet at its current hop's egress — the
 // body of the cached forward closure.
+//simlint:hotpath
 func (n *Network) packetForward(p *packet) {
 	l := p.links[p.hop]
 	l.egress(l.a == p.nodes[p.hop]).enqueue(n, p)
 }
 
 // packetArrived lands a packet at the far end of its current link.
+//simlint:hotpath
 func (n *Network) packetArrived(p *packet) {
 	l := p.links[p.hop]
 	l.markIdle()

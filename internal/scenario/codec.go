@@ -38,6 +38,7 @@ func marshalEnum[E comparable](v E, names map[E]string, what string) ([]byte, er
 }
 
 func unmarshalEnum[E comparable](b []byte, v *E, names map[E]string, what string) error {
+	//simlint:allow determinism enum name tables are bijective, so at most one key can match
 	for k, s := range names {
 		if s == string(b) {
 			*v = k

@@ -80,6 +80,7 @@ func (r *Residency) FractionsTo(t simtime.Time) map[string]float64 {
 	if total <= 0 {
 		return out
 	}
+	//simlint:allow determinism DurationTo is a pure read and each write is keyed by the loop key
 	for s := range r.dur {
 		out[s] = r.DurationTo(s, t).Seconds() / total
 	}
@@ -103,6 +104,7 @@ func (r *Residency) AddFractionsTo(t simtime.Time, into map[string]float64) {
 	if total <= 0 {
 		return
 	}
+	//simlint:allow determinism DurationTo is a pure read and each accumulation is keyed by the loop key
 	for s := range r.dur {
 		into[s] += r.DurationTo(s, t).Seconds() / total
 	}

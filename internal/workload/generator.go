@@ -64,7 +64,7 @@ func (g *Generator) scheduleNext() {
 		j := g.factory.NewJob(g.nextID, at, g.service)
 		g.nextID++
 		g.generated++
-		g.sink(j)
+		g.sink(j) //simlint:allow hookguard sink is a mandatory constructor argument
 		g.scheduleNext()
 	})
 }
